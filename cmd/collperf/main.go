@@ -1,0 +1,85 @@
+// Command collperf runs a coll_perf-style benchmark (the ROMIO test
+// program the paper evaluates): a 3-D block-distributed array written to
+// and read from a shared file with collective I/O, comparing the
+// two-phase baseline with the memory-conscious strategy.
+//
+//	collperf -np 120 -n 512 -mem 16m -sigma 50m
+//
+// -n is the cube's edge length in 4-byte elements (the paper runs 2048
+// over 120 processes for a 32 GB file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcio/internal/cliutil"
+	"mcio/internal/collio"
+	"mcio/internal/core"
+	"mcio/internal/machine"
+	"mcio/internal/mpi"
+	"mcio/internal/pfs"
+	"mcio/internal/sim"
+	"mcio/internal/twophase"
+	"mcio/internal/workload"
+)
+
+func main() {
+	np := flag.Int("np", 120, "number of processes")
+	perNode := flag.Int("ppn", 12, "processes per node")
+	n := flag.Int64("n", 512, "array edge length in elements (4 bytes each)")
+	memStr := flag.String("mem", "16m", "mean aggregation memory per node")
+	sigmaStr := flag.String("sigma", "50m", "availability standard deviation")
+	targets := flag.Int("targets", 16, "storage targets (OSTs)")
+	seed := flag.Uint64("seed", 42, "seed for the availability variance")
+	flag.Parse()
+
+	mem, err := cliutil.ParseSize(*memStr)
+	check(err)
+	sigma, err := cliutil.ParseSize(*sigmaStr)
+	check(err)
+
+	grid, err := workload.DimsCreate(*np)
+	check(err)
+	c := workload.CollPerf{ArrayDim: *n, ElemBytes: 4, Grid: grid}
+	reqs, err := c.Requests()
+	check(err)
+	fmt.Printf("collperf: %d procs in a %dx%dx%d grid, %d^3 x 4B array, file %s\n",
+		*np, grid[0], grid[1], grid[2], *n, cliutil.FormatSize(c.TotalBytes()))
+
+	topo, err := mpi.BlockTopology(*np, *perNode)
+	check(err)
+	mc := machine.Testbed640().Scaled(topo.Nodes())
+	avail := cliutil.DrawAvailability(mc, topo.Nodes(), mem, sigma, *seed)
+	params := collio.DefaultParams(mem)
+	params.MsgInd = 4 * mem
+	params.MsgGroup = 32 * mem
+	ctx := &collio.Context{
+		Topo:    topo,
+		Machine: mc,
+		Avail:   avail,
+		FS:      pfs.DefaultConfig(*targets),
+		Params:  params,
+	}
+
+	for _, s := range []collio.Strategy{twophase.New(), core.New()} {
+		plan, err := s.Plan(ctx, reqs)
+		check(err)
+		check(plan.Validate(reqs))
+		for _, op := range []collio.Op{collio.Write, collio.Read} {
+			res, err := collio.Cost(ctx, plan, reqs, op, sim.DefaultOptions())
+			check(err)
+			fmt.Printf("  %-18s %-5s %10.1f MB/s  (%d groups, %d aggregators, %d paged, %d rounds)\n",
+				s.Name(), op, res.Bandwidth/1e6, res.Groups, res.Aggregators,
+				res.PagedAggregators, res.MaxRounds)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collperf:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Command iorsim runs an IOR-style benchmark over the simulated collective
+// I/O stack, comparing the two-phase baseline with the memory-conscious
+// strategy, in the spirit of LLNL's IOR command line:
+//
+//	iorsim -np 120 -b 4m -t 4m -s 8 -mem 16m -sigma 50m
+//
+// -b is the block size per segment per process, -t the transfer size, -s
+// the segment count, -mem the mean per-aggregator memory, -sigma the
+// node-to-node availability standard deviation. -random shuffles offsets
+// (IOR's "Or Random" mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcio/internal/cliutil"
+	"mcio/internal/collio"
+	"mcio/internal/core"
+	"mcio/internal/machine"
+	"mcio/internal/mpi"
+	"mcio/internal/pfs"
+	"mcio/internal/sim"
+	"mcio/internal/twophase"
+	"mcio/internal/workload"
+)
+
+func main() {
+	np := flag.Int("np", 120, "number of processes")
+	perNode := flag.Int("ppn", 12, "processes per node")
+	blockStr := flag.String("b", "4m", "block size per segment per process")
+	transferStr := flag.String("t", "4m", "transfer size")
+	segments := flag.Int("s", 8, "segments")
+	memStr := flag.String("mem", "16m", "mean aggregation memory per node")
+	sigmaStr := flag.String("sigma", "50m", "availability standard deviation")
+	targets := flag.Int("targets", 16, "storage targets (OSTs)")
+	random := flag.Bool("random", false, "random offsets instead of interleaved")
+	seed := flag.Uint64("seed", 42, "seed for variance and random offsets")
+	flag.Parse()
+
+	block, err := cliutil.ParseSize(*blockStr)
+	check(err)
+	transfer, err := cliutil.ParseSize(*transferStr)
+	check(err)
+	mem, err := cliutil.ParseSize(*memStr)
+	check(err)
+	sigma, err := cliutil.ParseSize(*sigmaStr)
+	check(err)
+
+	w := workload.IOR{
+		Ranks:        *np,
+		BlockSize:    block,
+		TransferSize: transfer,
+		Segments:     *segments,
+		Random:       *random,
+		Seed:         *seed,
+	}
+	reqs, err := w.Requests()
+	check(err)
+	fmt.Printf("iorsim: %d procs, %s/proc (%d x %s blocks), file %s, %s\n",
+		*np, cliutil.FormatSize(w.BytesPerRank()), *segments, cliutil.FormatSize(block), cliutil.FormatSize(w.TotalBytes()),
+		map[bool]string{false: "interleaved", true: "random"}[*random])
+
+	topo, err := mpi.BlockTopology(*np, *perNode)
+	check(err)
+	mc := machine.Testbed640().Scaled(topo.Nodes())
+	avail := cliutil.DrawAvailability(mc, topo.Nodes(), mem, sigma, *seed)
+	params := collio.DefaultParams(mem)
+	params.MsgInd = 4 * mem
+	params.MsgGroup = 32 * mem
+	ctx := &collio.Context{
+		Topo:    topo,
+		Machine: mc,
+		Avail:   avail,
+		FS:      pfs.DefaultConfig(*targets),
+		Params:  params,
+	}
+
+	for _, s := range []collio.Strategy{twophase.New(), core.New()} {
+		plan, err := s.Plan(ctx, reqs)
+		check(err)
+		check(plan.Validate(reqs))
+		for _, op := range []collio.Op{collio.Write, collio.Read} {
+			res, err := collio.Cost(ctx, plan, reqs, op, sim.DefaultOptions())
+			check(err)
+			fmt.Printf("  %-18s %-5s %10.1f MB/s  (%d groups, %d aggregators, %d paged, %d rounds)\n",
+				s.Name(), op, res.Bandwidth/1e6, res.Groups, res.Aggregators,
+				res.PagedAggregators, res.MaxRounds)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iorsim:", err)
+		os.Exit(1)
+	}
+}

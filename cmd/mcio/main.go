@@ -1,0 +1,289 @@
+// Command mcio regenerates the tables and figures of "Memory-Conscious
+// Collective I/O for Extreme Scale HPC Systems" on the simulated
+// substrate.
+//
+// Usage:
+//
+//	mcio -exp table1                # the paper's Table 1
+//	mcio -exp fig6 -scale 64        # coll_perf sweep (Figure 6)
+//	mcio -exp fig7                  # IOR at 120 cores (Figure 7)
+//	mcio -exp fig8                  # IOR at 1080 cores (Figure 8)
+//	mcio -exp fig2|fig4|fig5        # illustrative traces of the mechanisms
+//	mcio -exp ablation              # design-choice ablations
+//	mcio -exp all                   # everything above
+//
+// -scale divides every byte quantity (1 = paper-exact sizes, slower);
+// -seed drives the availability variance; -details adds per-point
+// aggregator accounting to figure output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcio/internal/bench"
+	"mcio/internal/collio"
+	"mcio/internal/core"
+	"mcio/internal/machine"
+	"mcio/internal/mpi"
+	"mcio/internal/pfs"
+	"mcio/internal/twophase"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig2, fig4, fig5, fig6, fig7, fig8, motivation, comparison, random, plan, scaling, trajectory, trace, tune, ablation, all")
+	scale := flag.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
+	seed := flag.Uint64("seed", 42, "seed for the availability variance")
+	details := flag.Bool("details", false, "print per-point aggregator details for figures")
+	jsonPath := flag.String("json", "", "also save figure results as JSON to this path (fig6/fig7/fig8)")
+	flag.Parse()
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			fmt.Println("Table 1: potential exascale design vs 2010 HPC design")
+			fmt.Println(machine.RenderTable1())
+		case "fig2":
+			return fig2()
+		case "fig4":
+			return fig4()
+		case "fig5":
+			return fig5()
+		case "fig6", "fig7", "fig8":
+			runner := map[string]func(int64, uint64) (*bench.Series, error){
+				"fig6": bench.Fig6, "fig7": bench.Fig7, "fig8": bench.Fig8,
+			}[name]
+			s, err := runner(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.Render(s))
+			if *details {
+				fmt.Println(bench.RenderDetails(s))
+			}
+			if *jsonPath != "" {
+				if err := s.SaveJSON(*jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("saved %s\n", *jsonPath)
+			}
+		case "random":
+			t, err := bench.RandomVsInterleaved(*scale, *seed, 16)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+		case "plan":
+			return describePlans(*scale, *seed)
+		case "trajectory":
+			t, err := bench.Trajectory(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+		case "trace":
+			out, err := bench.RoundTrace(*scale, *seed, 8)
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+		case "comparison":
+			t, err := bench.StrategyComparison(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+		case "scaling":
+			t, err := bench.ScalingSweep(*scale, *seed, 16)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+		case "tune":
+			return tune(*scale, *seed)
+		case "motivation":
+			t, err := bench.Motivation(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+		case "ablation":
+			for _, a := range []func(int64, uint64) (*bench.Table, error){
+				bench.AblationGrouping,
+				bench.AblationNah,
+				bench.AblationSigma,
+				bench.AblationOverlap,
+				bench.AblationAggsPerNode,
+			} {
+				t, err := a(*scale, *seed)
+				if err != nil {
+					return err
+				}
+				fmt.Println(t.Render())
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "motivation", "comparison", "random", "plan", "scaling", "trajectory", "trace", "tune", "ablation"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "mcio:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// fig2 reproduces the paper's Figure 2 as a trace: six processes, two
+// aggregators, classic two-phase collective read.
+func fig2() error {
+	fmt.Println("Figure 2: two-phase collective I/O (6 processes, 2 aggregator nodes)")
+	topo, err := mpi.BlockTopology(6, 3)
+	if err != nil {
+		return err
+	}
+	mc := machine.Testbed640()
+	mc.Nodes = topo.Nodes()
+	ctx := &collio.Context{
+		Topo:    topo,
+		Machine: mc,
+		Avail:   []int64{mc.MemPerNode, mc.MemPerNode},
+		FS:      pfs.DefaultConfig(4),
+		Params:  collio.DefaultParams(256),
+	}
+	var reqs []collio.RankRequest
+	for r := 0; r < 6; r++ {
+		reqs = append(reqs, collio.RankRequest{
+			Rank:    r,
+			Extents: []pfs.Extent{{Offset: int64(r) * 512, Length: 512}},
+		})
+	}
+	plan, err := twophase.New().Plan(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	for i, d := range plan.Domains {
+		fmt.Printf("  file domain %d: bytes %d..%d -> aggregator rank %d on node %d\n",
+			i, d.Extents[0].Offset, d.Extents[len(d.Extents)-1].End(), d.Aggregator, d.AggNode)
+	}
+	fmt.Println("  phase 1 (I/O): each aggregator reads its file domain in buffer-sized rounds")
+	fmt.Println("  phase 2 (communication): aggregators scatter the data to the requesting processes")
+	fmt.Println()
+	return nil
+}
+
+// fig4 reproduces the paper's Figure 4: aggregation-group division across
+// nine processes on three compute nodes with a serial data distribution.
+func fig4() error {
+	fmt.Println("Figure 4: aggregation group division (9 processes, 3 nodes, serial distribution)")
+	topo, err := mpi.BlockTopology(9, 3)
+	if err != nil {
+		return err
+	}
+	mc := machine.Testbed640()
+	mc.Nodes = topo.Nodes()
+	params := collio.DefaultParams(100)
+	params.MsgGroup = 800 // the tentative boundary lands mid-node and is extended
+	ctx := &collio.Context{
+		Topo:    topo,
+		Machine: mc,
+		Avail:   []int64{mc.MemPerNode, mc.MemPerNode, mc.MemPerNode},
+		FS:      pfs.DefaultConfig(4),
+		Params:  params,
+	}
+	var reqs []collio.RankRequest
+	for r := 0; r < 9; r++ {
+		reqs = append(reqs, collio.RankRequest{
+			Rank:    r,
+			Extents: []pfs.Extent{{Offset: int64(r) * 300, Length: 300}},
+		})
+	}
+	for _, g := range core.DivideGroups(ctx, reqs) {
+		ranks := make([]string, len(g.Ranks))
+		for i, r := range g.Ranks {
+			ranks[i] = fmt.Sprintf("P%d", r)
+		}
+		fmt.Printf("  group %d: file [%d..%d) members %s (node boundary respected)\n",
+			g.Index, g.Region.Offset, g.Region.End(), strings.Join(ranks, " "))
+	}
+	fmt.Println()
+	return nil
+}
+
+// fig5 demonstrates the two partition-tree remerge cases of Figures 5a/5b.
+func fig5() error {
+	fmt.Println("Figure 5: file-domain remerge on the binary partition tree")
+	show := func(t *core.PartitionTree) {
+		for i, l := range t.Leaves() {
+			fmt.Printf("    leaf %d: [%d..%d) %d bytes\n",
+				i, l.Extents[0].Offset, l.Extents[len(l.Extents)-1].End(), l.Bytes)
+		}
+	}
+	// Case 5a: sibling is a leaf.
+	t5a, err := core.BuildTree([]pfs.Extent{{Offset: 0, Length: 200}}, 100)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  case 5a — before (sibling is a leaf):")
+	show(t5a)
+	if _, err := t5a.Remerge(t5a.Root.Left); err != nil {
+		return err
+	}
+	fmt.Println("  after removing the left leaf, its sibling takes over directly:")
+	show(t5a)
+
+	// Case 5b: sibling is an internal vertex; DFS finds the adjacent leaf.
+	t5b, err := core.BuildTree([]pfs.Extent{{Offset: 0, Length: 400}}, 100)
+	if err != nil {
+		return err
+	}
+	if _, err := t5b.Remerge(t5b.Root.Left.Left); err != nil {
+		return err
+	}
+	fmt.Println("  case 5b — before (left leaf's sibling subtree was further split):")
+	show(t5b)
+	if _, err := t5b.Remerge(t5b.Root.Left); err != nil {
+		return err
+	}
+	fmt.Println("  after removal, the DFS-adjacent leaf of the sibling subtree absorbs it:")
+	show(t5b)
+	fmt.Println()
+	return nil
+}
+
+// tune runs the parameter auto-tuner (the paper's deferred "optimal
+// values" study) on the Figure 7 workload and prints the search table.
+func tune(scale int64, seed uint64) error {
+	cfg := bench.Fig7Config(scale, seed)
+	cfg.MemMB = []int{16}
+	wl, name := bench.Fig7Workload(cfg)
+	res, err := bench.TuneWorkload(cfg, wl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("parameter auto-tuning on %s\n", name)
+	fmt.Println(res.Render(8))
+	return nil
+}
+
+// describePlans prints both strategies' placement decisions for the
+// Figure 7 workload at 8 MB — the "where did my aggregators go" view.
+func describePlans(scale int64, seed uint64) error {
+	cfg := bench.Fig7Config(scale, seed)
+	cfg.MemMB = []int{8}
+	plans, topo, err := bench.PlansAt(cfg, 8)
+	if err != nil {
+		return err
+	}
+	for _, p := range plans {
+		fmt.Println(p.Describe(topo))
+	}
+	return nil
+}

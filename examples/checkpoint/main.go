@@ -1,0 +1,97 @@
+// Checkpoint: a 3-D block-distributed simulation array (the access
+// pattern of the paper's coll_perf benchmark) written as a checkpoint and
+// read back for restart, with subarray file views doing the layout work.
+//
+//	go run ./examples/checkpoint
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcio"
+)
+
+const (
+	edge   = 64 // 64^3 elements
+	ranks  = 8  // 2x2x2 process grid
+	elemSz = 8  // float64 field values
+)
+
+func main() {
+	sys, err := mcio.NewSystem(mcio.SystemConfig{
+		Ranks:        ranks,
+		RanksPerNode: 2,
+		Params:       mcio.DefaultParams(256 << 10),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.ApplyMemoryVariance(256<<10, 512<<10, 64<<10, 11)
+
+	f, err := sys.Open("checkpoint.dat", mcio.MemoryConscious())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each rank owns a 32x32x32 block of the 64^3 global array; its file
+	// view is the matching subarray, so the rank writes its block as one
+	// linear stream and the view scatters it into the global row-major
+	// layout.
+	const sub = edge / 2
+	blockBytes := int64(sub * sub * sub * elemSz)
+	args := make([]mcio.CollArgs, ranks)
+	for r := 0; r < ranks; r++ {
+		i, j, k := int64(r/4), int64(r/2%2), int64(r%2)
+		view := mcio.View{Filetype: mcio.Subarray{
+			Sizes:     []int64{edge, edge, edge},
+			Subsizes:  []int64{sub, sub, sub},
+			Starts:    []int64{i * sub, j * sub, k * sub},
+			ElemBytes: elemSz,
+		}}
+		if err := f.SetView(r, view); err != nil {
+			log.Fatal(err)
+		}
+		// Fill the block with a rank-tagged field so restart can verify.
+		buf := make([]byte, blockBytes)
+		for b := range buf {
+			buf[b] = byte(r*37 + b)
+		}
+		args[r] = mcio.CollArgs{Buf: buf}
+	}
+
+	res, err := f.WriteAll(args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: wrote %d MB in %d domains at %.1f MB/s (simulated)\n",
+		res.UserBytes>>20, res.Domains, res.Bandwidth/1e6)
+
+	// Restart: read the whole checkpoint back through the same views.
+	restart := make([]mcio.CollArgs, ranks)
+	for r := range restart {
+		restart[r] = mcio.CollArgs{Buf: make([]byte, blockBytes)}
+	}
+	res, err = f.ReadAll(restart)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r := range restart {
+		for b := range restart[r].Buf {
+			if restart[r].Buf[b] != byte(r*37+b) {
+				log.Fatalf("restart verification failed at rank %d byte %d", r, b)
+			}
+		}
+	}
+	fmt.Printf("restart:    read  %d MB at %.1f MB/s — all %d blocks verified\n",
+		res.UserBytes>>20, res.Bandwidth/1e6, ranks)
+
+	// An independent (non-collective) spot-check through a strided view:
+	// one plane of rank 0's block, read with data sieving.
+	plane := make([]byte, sub*sub*elemSz)
+	if err := f.SieveReadAtRank(0, 0, plane); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spot check: first plane of rank 0 (%d bytes) read independently with data sieving\n",
+		len(plane))
+}

@@ -1,0 +1,68 @@
+// Exascale: runs the same collective workload on the paper's Table 1
+// design points — the 2010 petascale machine and the projected 2018
+// exascale machine — showing why collective I/O must become
+// memory-conscious: memory per core collapses from gigabytes to
+// megabytes while node concurrency explodes.
+//
+//	go run ./examples/exascale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcio"
+)
+
+func main() {
+	fmt.Println(mcio.Table1())
+
+	// A fixed 16-node, 192-rank slice of each design point; per-node
+	// resources (memory per core, bandwidths) come from the presets.
+	const nodes, ranks = 16, 192
+	for _, preset := range []mcio.MachineConfig{mcio.Petascale2010(), mcio.Exascale2018()} {
+		mc := preset.Scaled(nodes)
+		fmt.Printf("%s: %d B/core memory, %.2f GB/s/core off-chip bandwidth\n",
+			preset.Name, mc.MemPerCore(), mc.MemBWPerCore()/1e9)
+
+		// Aggregation memory per node scales with what the design point
+		// actually leaves per core after the application's working set:
+		// model it as 4 cores' worth of memory per node.
+		aggMem := 4 * mc.MemPerCore()
+		params := mcio.DefaultParams(aggMem)
+		params.MsgInd = 4 * aggMem
+		params.MsgGroup = 16 * aggMem
+
+		sys, err := mcio.NewSystem(mcio.SystemConfig{
+			Machine:      mc,
+			Ranks:        ranks,
+			RanksPerNode: ranks / nodes,
+			Params:       params,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Same relative variance on both machines.
+		sys.ApplyMemoryVariance(aggMem, 2*aggMem, aggMem/16, 5)
+
+		w := mcio.IOR{Ranks: ranks, BlockSize: aggMem, TransferSize: aggMem, Segments: 4}
+		reqs, err := w.Requests()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, strategy := range []mcio.Strategy{mcio.TwoPhase(), mcio.MemoryConscious()} {
+			f, err := sys.Open("exa-"+strategy.Name(), strategy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := f.PlanOnly(reqs, mcio.Write)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-18s write %10.1f MB/s  (%d aggregators, %d paged, buffer CV %.3f)\n",
+				strategy.Name(), res.Bandwidth/1e6, res.Aggregators,
+				res.PagedAggregators, res.BufferSummary.CV())
+		}
+		fmt.Println()
+	}
+}

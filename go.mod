@@ -1,0 +1,3 @@
+module mcio
+
+go 1.22

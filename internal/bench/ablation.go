@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a small rendered result for ablation experiments.
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Name)
+	for i, h := range t.Header {
+		fmt.Fprintf(&b, "%-*s  ", width[i], h)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ablationPoints is the reduced memory sweep ablations run on: one scarce,
+// one mid, one comfortable point.
+func ablationPoints() []int { return []int{4, 16, 64} }
+
+// AblationGrouping isolates §3.1's aggregation-group division: the full
+// memory-conscious strategy versus a variant whose Msg_group spans the
+// whole file (a single global group, so only dynamic placement and the
+// partition tree remain).
+func AblationGrouping(scale int64, seed uint64) (*Table, error) {
+	base := Fig7Config(scale, seed)
+	base.MemMB = ablationPoints()
+	wl, _ := Fig7Workload(base)
+
+	grouped, err := RunSweep(base, wl, "ior")
+	if err != nil {
+		return nil, err
+	}
+	single := base
+	single.Name = "fig7-single-group"
+	single.MsgGroupFactor = 1 << 20 // one group spanning everything
+	ungrouped, err := RunSweep(single, wl, "ior")
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Name:   "ablation: aggregation-group division (IOR, 120 ranks, write MB/s)",
+		Header: []string{"mem", "mc grouped", "mc single-group", "delta"},
+	}
+	for _, m := range base.MemMB {
+		g := grouped.find(m, "memory-conscious", "write")
+		u := ungrouped.find(m, "memory-conscious", "write")
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d MB", m),
+			fmt.Sprintf("%.1f", g.MBps),
+			fmt.Sprintf("%.1f", u.MBps),
+			fmt.Sprintf("%+.1f%%", (g.MBps/u.MBps-1)*100),
+		})
+	}
+	return t, nil
+}
+
+// AblationNah sweeps the per-host aggregator limit N_ah, showing the
+// trade-off the paper's Nah parameter controls: too few aggregators leave
+// bandwidth idle, too many contend for a node's memory and NIC.
+func AblationNah(scale int64, seed uint64) (*Table, error) {
+	t := &Table{
+		Name:   "ablation: per-host aggregator limit N_ah (IOR, 120 ranks, 16 MB, write MB/s)",
+		Header: []string{"N_ah", "mc write", "mc read", "aggregators"},
+	}
+	for _, nah := range []int{1, 2, 4, 8} {
+		cfg := Fig7Config(scale, seed)
+		cfg.Name = fmt.Sprintf("fig7-nah-%d", nah)
+		cfg.MemMB = []int{16}
+		cfg.Nah = nah
+		wl, _ := Fig7Workload(cfg)
+		s, err := RunSweep(cfg, wl, "ior")
+		if err != nil {
+			return nil, err
+		}
+		w := s.find(16, "memory-conscious", "write")
+		r := s.find(16, "memory-conscious", "read")
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", nah),
+			fmt.Sprintf("%.1f", w.MBps),
+			fmt.Sprintf("%.1f", r.MBps),
+			fmt.Sprintf("%d", w.Result.Aggregators),
+		})
+	}
+	return t, nil
+}
+
+// AblationSigma sweeps the availability variance σ: the paper's core
+// claim is that the memory-conscious strategy's advantage grows with the
+// node-to-node memory variance it was designed for.
+func AblationSigma(scale int64, seed uint64) (*Table, error) {
+	t := &Table{
+		Name:   "ablation: availability variance sigma (IOR, 120 ranks, 16 MB)",
+		Header: []string{"sigma", "2ph write", "mc write", "improvement"},
+	}
+	for _, sigma := range []float64{0, 10, 50, 100} {
+		cfg := Fig7Config(scale, seed)
+		cfg.Name = fmt.Sprintf("fig7-sigma-%g", sigma)
+		cfg.MemMB = []int{16}
+		cfg.SigmaMB = sigma
+		wl, _ := Fig7Workload(cfg)
+		s, err := RunSweep(cfg, wl, "ior")
+		if err != nil {
+			return nil, err
+		}
+		base := s.find(16, "two-phase", "write")
+		mc := s.find(16, "memory-conscious", "write")
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g MB", sigma),
+			fmt.Sprintf("%.1f", base.MBps),
+			fmt.Sprintf("%.1f", mc.MBps),
+			fmt.Sprintf("%+.1f%%", (mc.MBps/base.MBps-1)*100),
+		})
+	}
+	return t, nil
+}
+
+// AblationOverlap prices both strategies with and without pipelining of
+// the shuffle and I/O phases — a forward-looking variant the paper's
+// two-phase baseline lacks.
+func AblationOverlap(scale int64, seed uint64) (*Table, error) {
+	t := &Table{
+		Name:   "ablation: phase overlap (IOR, 120 ranks, 16 MB, write MB/s)",
+		Header: []string{"strategy", "blocking", "overlapped", "speedup"},
+	}
+	run := func(overlap bool) (*Series, error) {
+		cfg := Fig7Config(scale, seed)
+		cfg.Name = fmt.Sprintf("fig7-overlap-%v", overlap)
+		cfg.MemMB = []int{16}
+		cfg.Overlap = overlap
+		wl, _ := Fig7Workload(cfg)
+		return RunSweep(cfg, wl, "ior")
+	}
+	blocking, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	overlapped, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	for _, strategy := range []string{"two-phase", "memory-conscious"} {
+		b := blocking.find(16, strategy, "write")
+		o := overlapped.find(16, strategy, "write")
+		t.Rows = append(t.Rows, []string{
+			strategy,
+			fmt.Sprintf("%.1f", b.MBps),
+			fmt.Sprintf("%.1f", o.MBps),
+			fmt.Sprintf("%.2fx", o.MBps/b.MBps),
+		})
+	}
+	return t, nil
+}
+
+// AblationAggsPerNode compares the classic baseline against variants with
+// more (statically chosen) aggregators per node — showing that the
+// memory-conscious win is not just "use more aggregators".
+func AblationAggsPerNode(scale int64, seed uint64) (*Table, error) {
+	t := &Table{
+		Name:   "ablation: static aggregators per node vs dynamic placement (IOR, 120 ranks, 16 MB, write MB/s)",
+		Header: []string{"strategy", "write MB/s", "paged aggs"},
+	}
+	cfg := Fig7Config(scale, seed)
+	cfg.MemMB = []int{16}
+	wl, _ := Fig7Workload(cfg)
+	s, err := RunSweep(cfg, wl, "ior")
+	if err != nil {
+		return nil, err
+	}
+	for _, strategy := range []string{"two-phase", "memory-conscious"} {
+		p := s.find(16, strategy, "write")
+		t.Rows = append(t.Rows, []string{
+			strategy,
+			fmt.Sprintf("%.1f", p.MBps),
+			fmt.Sprintf("%d", p.Result.PagedAggregators),
+		})
+	}
+	for _, k := range []int{2, 4} {
+		sk, err := RunSweepWithBaselineAggs(cfg, wl, k)
+		if err != nil {
+			return nil, err
+		}
+		p := sk.find(16, "two-phase", "write")
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("two-phase %d/node", k),
+			fmt.Sprintf("%.1f", p.MBps),
+			fmt.Sprintf("%d", p.Result.PagedAggregators),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+
+	"mcio/internal/workload"
+)
+
+// RandomVsInterleaved runs the "Or Random" half of IOR's name: the same
+// volume per process placed either in the segmented interleaved layout or
+// at seeded-random transfer-sized slots, for both strategies at one
+// memory point. Random placement destroys the locality the group division
+// and data-local placement exploit, so it bounds how much of the
+// memory-conscious win depends on locality versus memory awareness.
+func RandomVsInterleaved(scale int64, seed uint64, memMB int) (*Table, error) {
+	if memMB <= 0 {
+		memMB = 16
+	}
+	cfg := Fig7Config(scale, seed)
+	cfg.MemMB = []int{memMB}
+	block := cfg.scaled(4 * MB)
+
+	t := &Table{
+		Name: fmt.Sprintf("IOR interleaved vs random offsets (120 ranks, %d MB per aggregator, write MB/s)", memMB),
+		Header: []string{
+			"layout", "2ph write", "mc write", "improvement",
+		},
+	}
+	for _, random := range []bool{false, true} {
+		w := workload.IOR{
+			Ranks:        cfg.Ranks,
+			BlockSize:    block,
+			TransferSize: block,
+			Segments:     8,
+			Random:       random,
+			Seed:         seed,
+		}
+		label := "interleaved"
+		name := cfg.Name + "-interleaved"
+		if random {
+			label = "random"
+			name = cfg.Name + "-random"
+		}
+		runCfg := cfg
+		runCfg.Name = name
+		s, err := RunSweep(runCfg, w, label)
+		if err != nil {
+			return nil, err
+		}
+		base := s.find(memMB, "two-phase", "write")
+		mc := s.find(memMB, "memory-conscious", "write")
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%.1f", base.MBps),
+			fmt.Sprintf("%.1f", mc.MBps),
+			fmt.Sprintf("%+.1f%%", (mc.MBps/base.MBps-1)*100),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats a series as the aligned text table the figures plot:
+// one row per memory size, write and read bandwidth for both strategies,
+// and the memory-conscious improvement.
+func Render(s *Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (scale 1/%d, seed %d)\n",
+		s.Name, s.Workload, s.Config.Scale, s.Config.Seed)
+	fmt.Fprintf(&b, "%-8s %14s %14s %8s %14s %14s %8s\n",
+		"mem", "2ph write", "mc write", "Δwrite", "2ph read", "mc read", "Δread")
+	for _, memMB := range s.Config.MemMB {
+		bw := func(strategy, op string) float64 {
+			if p := s.find(memMB, strategy, op); p != nil {
+				return p.MBps
+			}
+			return 0
+		}
+		imp := func(op string) string {
+			base, mc := bw("two-phase", op), bw("memory-conscious", op)
+			if base == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%+.1f%%", (mc/base-1)*100)
+		}
+		fmt.Fprintf(&b, "%-8s %11.1f MB/s %11.1f MB/s %8s %11.1f MB/s %11.1f MB/s %8s\n",
+			fmt.Sprintf("%d MB", memMB),
+			bw("two-phase", "write"), bw("memory-conscious", "write"), imp("write"),
+			bw("two-phase", "read"), bw("memory-conscious", "read"), imp("read"))
+	}
+	fmt.Fprintf(&b, "average improvement: write %+.1f%%, read %+.1f%%\n",
+		s.Improvement("write")*100, s.Improvement("read")*100)
+	return b.String()
+}
+
+// RenderDetails adds the aggregator-side metrics per point: aggregator
+// count, paged aggregators, rounds, and buffer-consumption variance — the
+// paper's secondary claims (reduced memory consumption and variance).
+func RenderDetails(s *Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — aggregator detail\n", s.Name)
+	fmt.Fprintf(&b, "%-8s %-18s %6s %6s %7s %7s %8s %8s\n",
+		"mem", "strategy", "groups", "aggs", "paged", "rounds", "bufMean", "bufCV")
+	for _, memMB := range s.Config.MemMB {
+		for _, strategy := range []string{"two-phase", "memory-conscious"} {
+			p := s.find(memMB, strategy, "write")
+			if p == nil {
+				continue
+			}
+			r := p.Result
+			fmt.Fprintf(&b, "%-8s %-18s %6d %6d %7d %7d %7.1fM %8.3f\n",
+				fmt.Sprintf("%d MB", memMB), strategy,
+				r.Groups, r.Aggregators, r.PagedAggregators, r.MaxRounds,
+				r.BufferSummary.Mean/1e6, r.BufferSummary.CV())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+
+	"mcio/internal/workload"
+)
+
+// ScalingSweep extends the paper's 120-vs-1080-core comparison into a
+// weak-scaling study: the IOR workload grows with the process count
+// (fixed bytes per process), memory per aggregator stays fixed, and both
+// strategies are priced at every size. This is the "projected extreme
+// scale" trajectory the paper motivates but could only sample at two
+// points on its testbed.
+func ScalingSweep(scale int64, seed uint64, memMB int) (*Table, error) {
+	if memMB <= 0 {
+		memMB = 16
+	}
+	t := &Table{
+		Name: fmt.Sprintf("weak scaling: IOR, %d MB per aggregator, 32 MB per process", memMB),
+		Header: []string{
+			"procs", "nodes", "2ph write", "mc write", "improvement", "2ph agg", "mc agg",
+		},
+	}
+	for _, ranks := range []int{120, 240, 480, 1080, 2160} {
+		cfg := Fig7Config(scale, seed)
+		cfg.Name = fmt.Sprintf("scaling-%d", ranks)
+		cfg.Ranks = ranks
+		cfg.MemMB = []int{memMB}
+		// Storage grows with the machine, as provisioned systems do.
+		cfg.Targets = 16 * ranks / 120
+		block := cfg.scaled(4 * MB)
+		w := workload.IOR{
+			Ranks:        ranks,
+			BlockSize:    block,
+			TransferSize: block,
+			Segments:     8,
+		}
+		s, err := RunSweep(cfg, w, "ior")
+		if err != nil {
+			return nil, err
+		}
+		base := s.find(memMB, "two-phase", "write")
+		mc := s.find(memMB, "memory-conscious", "write")
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", ranks),
+			fmt.Sprintf("%d", ranks/cfg.RanksPerNode),
+			fmt.Sprintf("%.1f", base.MBps),
+			fmt.Sprintf("%.1f", mc.MBps),
+			fmt.Sprintf("%+.1f%%", (mc.MBps/base.MBps-1)*100),
+			fmt.Sprintf("%d", base.Result.Aggregators),
+			fmt.Sprintf("%d", mc.Result.Aggregators),
+		})
+	}
+	return t, nil
+}

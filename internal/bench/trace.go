@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mcio/internal/collio"
+	"mcio/internal/core"
+	"mcio/internal/sim"
+	"mcio/internal/stats"
+	"mcio/internal/twophase"
+)
+
+// RoundTrace prices one sweep point of the Figure 7 workload with
+// round-level tracing and renders a compact timeline for both strategies:
+// how the communication and I/O phases interleave, round by round. A
+// diagnostic view of what the cost engine actually charges.
+func RoundTrace(scale int64, seed uint64, memMB int) (string, error) {
+	cfg := Fig7Config(scale, seed)
+	cfg.MemMB = []int{memMB}
+	wl, name := Fig7Workload(cfg)
+	reqs, err := wl.Requests()
+	if err != nil {
+		return "", err
+	}
+	nodes := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
+	r := stats.NewRNG(cfg.Seed)
+	zs := make([]float64, nodes)
+	for i := range zs {
+		zs[i] = r.Normal(0, 1)
+	}
+	ctx, err := cfg.context(cfg.scaled(int64(memMB)*MB), zs, wl.TotalBytes())
+	if err != nil {
+		return "", err
+	}
+	opt := sim.DefaultOptions()
+	opt.Trace = true
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "round trace: %s at %d MB per aggregator\n", name, memMB)
+	for _, s := range []collio.Strategy{twophase.New(), core.New()} {
+		plan, err := s.Plan(ctx, reqs)
+		if err != nil {
+			return "", err
+		}
+		if err := plan.Validate(reqs); err != nil {
+			return "", err
+		}
+		res, err := collio.Cost(ctx, plan, reqs, collio.Write, opt)
+		if err != nil {
+			return "", err
+		}
+		tr := res.Trace
+		fmt.Fprintf(&b, "%s: %d rounds, %.4fs total (comm %.4fs, io %.4fs)\n",
+			s.Name(), len(tr), res.Seconds, res.Totals.CommTime, res.Totals.IOTime)
+		show := tr
+		const head, tail = 3, 2
+		if len(tr) > head+tail+1 {
+			show = tr[:head]
+		}
+		for _, e := range show {
+			fmt.Fprintf(&b, "  round %4d: %8.2fµs comm + %8.2fµs io  (%d msgs, %d ops, %d KB comm, %d KB io)\n",
+				e.Round, e.Cost.CommTime*1e6, e.Cost.IOTime*1e6,
+				e.Messages, e.IOOps, e.CommBytes>>10, e.IOBytes>>10)
+		}
+		if len(tr) > head+tail+1 {
+			fmt.Fprintf(&b, "  ... %d more rounds ...\n", len(tr)-head-tail)
+			for _, e := range tr[len(tr)-tail:] {
+				fmt.Fprintf(&b, "  round %4d: %8.2fµs comm + %8.2fµs io  (%d msgs, %d ops, %d KB comm, %d KB io)\n",
+					e.Round, e.Cost.CommTime*1e6, e.Cost.IOTime*1e6,
+					e.Messages, e.IOOps, e.CommBytes>>10, e.IOBytes>>10)
+			}
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+
+	"mcio/internal/collio"
+	"mcio/internal/core"
+	"mcio/internal/machine"
+	"mcio/internal/mpi"
+	"mcio/internal/pfs"
+	"mcio/internal/sim"
+	"mcio/internal/stats"
+	"mcio/internal/twophase"
+	"mcio/internal/workload"
+)
+
+// Trajectory prices both strategies on machine design points interpolated
+// along the paper's Table 1 trajectory from the 2010 petascale machine
+// (t=0) to the projected 2018 exascale machine (t=1). The workload and
+// node count are held fixed; only the per-node resource ratios change —
+// memory per core shrinking ~120x along the way — so the sweep shows
+// where on the road to exascale memory-conscious placement starts to
+// matter.
+func Trajectory(scale int64, seed uint64) (*Table, error) {
+	const (
+		nodes        = 16
+		ranksPerNode = 12
+		ranks        = nodes * ranksPerNode
+	)
+	t := &Table{
+		Name: "table-1 trajectory: petascale (t=0) to exascale (t=1), IOR write MB/s",
+		Header: []string{
+			"t", "mem/core", "2ph write", "mc write", "improvement", "2ph paged",
+		},
+	}
+	r := stats.NewRNG(seed)
+	zs := make([]float64, nodes)
+	for i := range zs {
+		zs[i] = r.Normal(0, 1)
+	}
+	for _, tt := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		mc := machine.Interpolate(tt).Scaled(nodes)
+		mc.NetLatency /= float64(scale)
+
+		// The aggregation budget tracks the design point: a few cores'
+		// worth of the node's memory, scaled like everything else.
+		aggMem := 4 * mc.MemPerCore() / scale
+		if aggMem < 1 {
+			aggMem = 1
+		}
+		topo, err := mpi.BlockTopology(ranks, ranksPerNode)
+		if err != nil {
+			return nil, err
+		}
+		avail := make([]int64, nodes)
+		for i := range avail {
+			v := int64(float64(aggMem) * (1 + zs[i]))
+			if v < aggMem/8 {
+				v = aggMem / 8
+			}
+			if v > mc.MemPerNode {
+				v = mc.MemPerNode
+			}
+			avail[i] = v
+		}
+		fsCfg := pfs.DefaultConfig(16)
+		fsCfg.StripeUnit = maxI64(1, (1<<20)/scale)
+		fsCfg.ReqOverhead /= float64(scale)
+		fsCfg.TargetBW = mc.IOBandwidth / float64(fsCfg.Targets) / float64(mc.Nodes/nodes+1)
+
+		params := collio.DefaultParams(aggMem)
+		params.MsgInd = 4 * aggMem
+		params.MsgGroup = 32 * aggMem
+		ctx := &collio.Context{Topo: topo, Machine: mc, Avail: avail, FS: fsCfg, Params: params}
+
+		w := workload.IOR{Ranks: ranks, BlockSize: 4 * aggMem, TransferSize: 4 * aggMem, Segments: 4}
+		reqs, err := w.Requests()
+		if err != nil {
+			return nil, err
+		}
+		opt := sim.DefaultOptions()
+		row := []string{fmt.Sprintf("%.2f", tt), fmtBytes(mc.MemPerCore())}
+		var base, mcio float64
+		var basePaged int
+		for _, s := range []collio.Strategy{twophase.New(), core.New()} {
+			plan, err := s.Plan(ctx, reqs)
+			if err != nil {
+				return nil, err
+			}
+			if err := plan.Validate(reqs); err != nil {
+				return nil, err
+			}
+			res, err := collio.Cost(ctx, plan, reqs, collio.Write, opt)
+			if err != nil {
+				return nil, err
+			}
+			if s.Name() == "two-phase" {
+				base = res.Bandwidth
+				basePaged = res.PagedAggregators
+			} else {
+				mcio = res.Bandwidth
+			}
+		}
+		row = append(row,
+			fmt.Sprintf("%.1f", base/1e6),
+			fmt.Sprintf("%.1f", mcio/1e6),
+			fmt.Sprintf("%+.1f%%", (mcio/base-1)*100),
+			fmt.Sprintf("%d", basePaged),
+		)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

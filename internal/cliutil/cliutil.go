@@ -1,0 +1,68 @@
+// Package cliutil holds the small helpers shared by the command-line
+// tools: human-friendly byte-size parsing/formatting and the seeded
+// availability setup the IOR- and coll_perf-style drivers share.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mcio/internal/machine"
+	"mcio/internal/stats"
+)
+
+// ParseSize parses "64k", "4m", "1g", "16MB", "512B" (binary units) or
+// plain bytes.
+func ParseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) > 1 && strings.HasSuffix(s, "b") {
+		s = strings.TrimSuffix(s, "b")
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+// FormatSize renders a byte count with the largest exact binary unit.
+func FormatSize(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// DrawAvailability builds the per-node availability vector the benchmark
+// drivers use: N(mean, sigma²) per node, clamped to [64 KB, capacity].
+func DrawAvailability(mc machine.Config, nodes int, mean, sigma int64, seed uint64) []int64 {
+	r := stats.NewRNG(seed)
+	avail := make([]int64, nodes)
+	for i := range avail {
+		v := int64(r.Normal(float64(mean), float64(sigma)))
+		if v < 64<<10 {
+			v = 64 << 10
+		}
+		if v > mc.MemPerNode {
+			v = mc.MemPerNode
+		}
+		avail[i] = v
+	}
+	return avail
+}

@@ -1,0 +1,81 @@
+package cliutil
+
+import (
+	"testing"
+
+	"mcio/internal/machine"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"1":    1,
+		"512":  512,
+		"4k":   4 << 10,
+		"16M":  16 << 20,
+		"2g":   2 << 30,
+		" 8m ": 8 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil {
+			t.Errorf("ParseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-4m", "0", "4q"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := map[int64]string{
+		1:         "1B",
+		1023:      "1023B",
+		1 << 10:   "1KB",
+		4 << 20:   "4MB",
+		2 << 30:   "2GB",
+		3<<20 + 1: "3145729B",
+	}
+	for in, want := range cases {
+		if got := FormatSize(in); got != want {
+			t.Errorf("FormatSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, n := range []int64{1, 512, 1 << 10, 3 << 20, 7 << 30} {
+		s := FormatSize(n)
+		got, err := ParseSize(s)
+		if err != nil {
+			t.Fatalf("round trip %d -> %q: %v", n, s, err)
+		}
+		if got != n {
+			t.Fatalf("round trip %d -> %q -> %d", n, s, got)
+		}
+	}
+}
+
+func TestDrawAvailability(t *testing.T) {
+	mc := machine.Testbed640()
+	a := DrawAvailability(mc, 16, 1<<20, 4<<20, 7)
+	if len(a) != 16 {
+		t.Fatalf("nodes = %d", len(a))
+	}
+	for i, v := range a {
+		if v < 64<<10 || v > mc.MemPerNode {
+			t.Fatalf("node %d availability %d outside clamp", i, v)
+		}
+	}
+	b := DrawAvailability(mc, 16, 1<<20, 4<<20, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package collio
+
+import (
+	"fmt"
+
+	"mcio/internal/pfs"
+	"mcio/internal/sim"
+	"mcio/internal/stats"
+)
+
+// CostResult is the priced outcome of one collective operation.
+type CostResult struct {
+	Strategy  string
+	Op        Op
+	UserBytes int64
+	Seconds   float64
+	// Bandwidth is UserBytes/Seconds in bytes per second — the number the
+	// paper's figures plot.
+	Bandwidth float64
+	Totals    sim.Totals
+
+	// Aggregator-side accounting, the paper's secondary metrics.
+	Aggregators      int
+	PagedAggregators int
+	Domains          int
+	Groups           int
+	MaxRounds        int
+	// BufferSummary summarizes per-domain aggregation buffer sizes (memory
+	// consumption per aggregator); its CV is the "variance among
+	// processes" the paper's strategy minimizes.
+	BufferSummary stats.Summary
+
+	// Trace holds per-round records when sim.Options.Trace was set.
+	Trace []sim.TraceEntry
+}
+
+// extentListEntryBytes is the wire size of one (offset, length) record in
+// the metadata exchange, as in ROMIO's flattened offset/length lists.
+const extentListEntryBytes = 16
+
+// Cost prices plan against the context's machine and storage models
+// without moving any data. The same plan and requests always produce the
+// same result.
+func Cost(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options) (*CostResult, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	st := sim.StorageParams{
+		Targets:         ctx.FS.Targets,
+		TargetBW:        ctx.FS.TargetBW,
+		ReqOverhead:     ctx.FS.ReqOverhead,
+		NoncontigFactor: ctx.FS.NoncontigFactor,
+		ReadBWFactor:    ctx.FS.ReadBWFactor,
+	}
+	eng, err := sim.NewEngine(ctx.Machine, st, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	placements := make([]sim.AggregatorPlacement, len(plan.Domains))
+	for i, d := range plan.Domains {
+		placements[i] = sim.AggregatorPlacement{
+			Node:          d.AggNode,
+			BufferBytes:   d.BufferBytes,
+			PagedSeverity: d.PagedSeverity,
+		}
+	}
+	eng.SetAggregators(placements)
+
+	// Metadata exchange: within each group, every member rank ships its
+	// flattened offset/length list to each of the group's aggregators.
+	// The baseline has one group spanning all ranks, so this is the
+	// global request exchange of classic two-phase I/O; the
+	// memory-conscious strategy confines it to each group.
+	extCount := make(map[int]int, len(reqs))
+	for _, r := range reqs {
+		extCount[r.Rank] = len(pfs.NormalizeExtents(r.Extents))
+	}
+	aggsByGroup := make(map[int][]int)
+	for _, d := range plan.Domains {
+		aggsByGroup[d.Group] = append(aggsByGroup[d.Group], d.Aggregator)
+	}
+	var meta sim.Round
+	for g, ranks := range plan.GroupRanks {
+		aggs := dedupInts(aggsByGroup[g])
+		for _, r := range ranks {
+			bytes := int64(extCount[r]) * extentListEntryBytes
+			if bytes == 0 {
+				continue
+			}
+			for _, a := range aggs {
+				meta.Messages = append(meta.Messages, sim.Message{
+					SrcNode: ctx.Topo.NodeOf(r),
+					DstNode: ctx.Topo.NodeOf(a),
+					Bytes:   bytes,
+				})
+			}
+		}
+	}
+	if len(meta.Messages) > 0 {
+		eng.RunRound(meta)
+	}
+
+	// Per-domain, per-rank contribution bytes (distributed evenly over the
+	// domain's rounds — the shuffle volume is exact, the per-round split
+	// is the even approximation). One merge-walk per rank against the
+	// domain index keeps this linear in the total extent count.
+	type contrib struct {
+		node  int
+		bytes int64
+	}
+	domainContribs := make([][]contrib, len(plan.Domains))
+	buckets := make([][]pfs.Extent, len(plan.Domains))
+	maxRounds := 0
+	for i, d := range plan.Domains {
+		buckets[i] = d.Extents
+		if rd := d.Rounds(); rd > maxRounds {
+			maxRounds = rd
+		}
+	}
+	if len(plan.Domains) > 0 {
+		index := NewExtentIndex(buckets)
+		for _, r := range reqs {
+			if len(r.Extents) == 0 {
+				continue
+			}
+			node := ctx.Topo.NodeOf(r.Rank)
+			for i, b := range index.OverlapBytes(r.Extents) {
+				if b > 0 {
+					domainContribs[i] = append(domainContribs[i], contrib{node: node, bytes: b})
+				}
+			}
+		}
+	}
+
+	for k := 0; k < maxRounds; k++ {
+		var round sim.Round
+		for i, d := range plan.Domains {
+			rounds := d.Rounds()
+			if k >= rounds {
+				continue
+			}
+			// Shuffle phase: contributions to/from the aggregator.
+			for _, c := range domainContribs[i] {
+				per := c.bytes / int64(rounds)
+				if int64(k) < c.bytes%int64(rounds) {
+					per++
+				}
+				if per == 0 {
+					continue
+				}
+				m := sim.Message{SrcNode: c.node, DstNode: d.AggNode, Bytes: per}
+				if op == Read {
+					m.SrcNode, m.DstNode = m.DstNode, m.SrcNode
+				}
+				round.Messages = append(round.Messages, m)
+			}
+			// I/O phase: this round's slice of the domain through the
+			// collective buffer. Slices are staggered cyclically across
+			// domains: aggregators do not run in lockstep on a real
+			// machine, and without the stagger, stripe-cycle-aligned
+			// domains would hit the same storage target in every round —
+			// an artificial convoy the global-round pricing would
+			// otherwise create.
+			slice := pfs.SliceData(d.Extents, int64((k+i)%rounds)*d.BufferBytes, d.BufferBytes)
+			for _, acc := range ctx.FS.MapExtents(slice) {
+				round.IOOps = append(round.IOOps, sim.IOOp{
+					Target:     acc.Target,
+					Node:       d.AggNode,
+					Bytes:      acc.Bytes,
+					Requests:   acc.Requests,
+					Contiguous: acc.Contiguous,
+					Write:      op == Write,
+				})
+			}
+		}
+		eng.RunRound(round)
+	}
+
+	userBytes := plan.TotalBytes()
+	res := &CostResult{
+		Strategy:  plan.Strategy,
+		Op:        op,
+		UserBytes: userBytes,
+		Seconds:   eng.Elapsed(),
+		Bandwidth: eng.Bandwidth(userBytes),
+		Totals:    eng.Totals(),
+		Domains:   len(plan.Domains),
+		Groups:    plan.Groups,
+		MaxRounds: maxRounds,
+	}
+	res.Aggregators = len(plan.Aggregators())
+	buffers := make([]float64, 0, len(plan.Domains))
+	for _, d := range plan.Domains {
+		buffers = append(buffers, float64(d.BufferBytes))
+		if d.PagedSeverity > 0 {
+			res.PagedAggregators++
+		}
+	}
+	res.BufferSummary = stats.Summarize(buffers)
+	if opt.Trace {
+		res.Trace = eng.Trace()
+	}
+	return res, nil
+}
+
+// String renders the result in one line for experiment logs.
+func (r *CostResult) String() string {
+	return fmt.Sprintf("%s %s: %.2f MB/s (%.4fs, %d groups, %d domains, %d aggs, %d paged, %d rounds)",
+		r.Strategy, r.Op, r.Bandwidth/1e6, r.Seconds, r.Groups, r.Domains,
+		r.Aggregators, r.PagedAggregators, r.MaxRounds)
+}
+
+func dedupInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package collio
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcio/internal/mpi"
+)
+
+// Describe renders a plan as human-readable text: groups, file domains,
+// aggregator placements and buffer sizes — the view a developer wants
+// when asking "where did my aggregators go and why".
+func (p *Plan) Describe(topo mpi.Topology) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %q: %d groups, %d domains, %d aggregators, %d bytes\n",
+		p.Strategy, p.Groups, len(p.Domains), len(p.Aggregators()), p.TotalBytes())
+	byGroup := make(map[int][]int, p.Groups)
+	for i, d := range p.Domains {
+		byGroup[d.Group] = append(byGroup[d.Group], i)
+	}
+	groups := make([]int, 0, len(byGroup))
+	for g := range byGroup {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	for _, g := range groups {
+		ranks := "-"
+		if g < len(p.GroupRanks) {
+			ranks = compactRanks(p.GroupRanks[g])
+		}
+		fmt.Fprintf(&b, "  group %d: ranks %s\n", g, ranks)
+		for _, i := range byGroup[g] {
+			d := p.Domains[i]
+			span := d.Extents[0].Offset
+			end := d.Extents[len(d.Extents)-1].End()
+			paged := ""
+			if d.PagedSeverity > 0 {
+				paged = fmt.Sprintf(" PAGED %.0f%%", d.PagedSeverity*100)
+			}
+			fmt.Fprintf(&b, "    domain %d: file [%d..%d) %d bytes in %d extents -> rank %d on node %d, buffer %d%s\n",
+				i, span, end, d.Bytes, len(d.Extents), d.Aggregator, d.AggNode, d.BufferBytes, paged)
+		}
+	}
+	return b.String()
+}
+
+// compactRanks renders a sorted rank list with ranges: "0-3 7 9-11".
+func compactRanks(ranks []int) string {
+	if len(ranks) == 0 {
+		return "none"
+	}
+	sorted := append([]int(nil), ranks...)
+	sort.Ints(sorted)
+	var parts []string
+	start, prev := sorted[0], sorted[0]
+	flush := func() {
+		if start == prev {
+			parts = append(parts, fmt.Sprintf("%d", start))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, r := range sorted[1:] {
+		if r == prev || r == prev+1 {
+			prev = r
+			continue
+		}
+		flush()
+		start, prev = r, r
+	}
+	flush()
+	return strings.Join(parts, " ")
+}

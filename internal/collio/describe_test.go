@@ -1,0 +1,57 @@
+package collio
+
+import (
+	"strings"
+	"testing"
+
+	"mcio/internal/mpi"
+)
+
+func TestDescribe(t *testing.T) {
+	plan, _ := validPlan()
+	plan.Domains[1].PagedSeverity = 0.5
+	topo, err := mpi.BlockTopology(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.Describe(topo)
+	for _, want := range []string{
+		`plan "test": 1 groups, 2 domains`,
+		"group 0: ranks 0-1",
+		"domain 0: file [0..120) 120 bytes",
+		"rank 0 on node 0, buffer 64",
+		"PAGED 50%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompactRanks(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want string
+	}{
+		{nil, "none"},
+		{[]int{5}, "5"},
+		{[]int{0, 1, 2, 3}, "0-3"},
+		{[]int{3, 1, 0, 2}, "0-3"},
+		{[]int{0, 2, 3, 4, 9}, "0 2-4 9"},
+		{[]int{1, 1, 2}, "1-2"},
+	}
+	for _, c := range cases {
+		if got := compactRanks(c.in); got != c.want {
+			t.Errorf("compactRanks(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDescribeEmptyPlan(t *testing.T) {
+	plan := &Plan{Strategy: "empty", Groups: 0, GroupRanks: [][]int{}}
+	topo, _ := mpi.BlockTopology(2, 2)
+	out := plan.Describe(topo)
+	if !strings.Contains(out, "0 domains") {
+		t.Fatalf("empty describe:\n%s", out)
+	}
+}

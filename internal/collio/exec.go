@@ -1,0 +1,175 @@
+package collio
+
+import (
+	"fmt"
+	"sort"
+
+	"mcio/internal/mpi"
+	"mcio/internal/pfs"
+)
+
+// RankData pairs one rank's request with its in-memory buffer. The buffer
+// is the concatenation of the request's normalized extents in file order
+// (the "data space" of the request): buffer byte 0 is the first byte of
+// the lowest extent, and so on. Its length must equal the request's total
+// bytes.
+type RankData struct {
+	Req RankRequest
+	Buf []byte
+}
+
+// Exec really performs the collective operation described by plan: ranks
+// run as goroutines, shuffle their contributions to the plan's
+// aggregators, and the aggregators read or write the striped file. On
+// write, each aggregator assembles its whole file domain in memory before
+// issuing the writes; tests run at sizes where that is the simplest
+// faithful rendering of the data path (the cost executor models the
+// buffer-cycling rounds).
+//
+// For overlapping write requests the lowest-ranked writer's bytes may be
+// overwritten by higher ranks, matching the unspecified outcome MPI gives
+// concurrent overlapping collective writes.
+func Exec(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op Op) error {
+	if err := ctx.Validate(); err != nil {
+		return err
+	}
+	if len(data) != ctx.Topo.Size() {
+		return fmt.Errorf("collio: Exec got %d rank buffers for %d ranks", len(data), ctx.Topo.Size())
+	}
+	for r, d := range data {
+		if d.Req.Rank != r {
+			return fmt.Errorf("collio: rank buffer %d labeled rank %d", r, d.Req.Rank)
+		}
+		if want := d.Req.Bytes(); int64(len(d.Buf)) != want {
+			return fmt.Errorf("collio: rank %d buffer is %d bytes, request needs %d", r, len(d.Buf), want)
+		}
+	}
+
+	// Precompute, per domain, each contributing rank's overlap — every
+	// rank derives the identical schedule, as real two-phase code does
+	// from the allgathered offset lists.
+	normReq := make([][]pfs.Extent, len(data))
+	for r := range data {
+		normReq[r] = pfs.NormalizeExtents(data[r].Req.Extents)
+	}
+	type domSched struct {
+		contributors []int          // ranks with data in the domain, ascending
+		overlap      [][]pfs.Extent // indexed like contributors
+	}
+	scheds := make([]domSched, len(plan.Domains))
+	for i, d := range plan.Domains {
+		ranks := append([]int(nil), plan.GroupRanks[d.Group]...)
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			ov := pfs.Intersect(normReq[r], d.Extents)
+			if len(ov) > 0 {
+				scheds[i].contributors = append(scheds[i].contributors, r)
+				scheds[i].overlap = append(scheds[i].overlap, ov)
+			}
+		}
+	}
+
+	world := mpi.NewWorld(ctx.Topo)
+	return world.Run(func(p *mpi.Proc) {
+		me := p.Rank()
+		for i, d := range plan.Domains {
+			sched := &scheds[i]
+			myIdx := -1
+			for j, r := range sched.contributors {
+				if r == me {
+					myIdx = j
+					break
+				}
+			}
+			if op == Write {
+				// Contributors ship their overlap bytes to the aggregator.
+				if myIdx >= 0 && me != d.Aggregator {
+					p.Send(d.Aggregator, i, gather(normReq[me], data[me].Buf, sched.overlap[myIdx]))
+				}
+				if me != d.Aggregator {
+					continue
+				}
+				domBuf := make([]byte, d.Bytes)
+				for j, r := range sched.contributors {
+					var chunk []byte
+					if r == me {
+						chunk = gather(normReq[me], data[me].Buf, sched.overlap[j])
+					} else {
+						chunk = p.Recv(r, i)
+					}
+					scatter(d.Extents, domBuf, sched.overlap[j], chunk)
+				}
+				var pos int64
+				for _, e := range d.Extents {
+					if _, err := file.WriteAt(domBuf[pos:pos+e.Length], e.Offset); err != nil {
+						panic(err)
+					}
+					pos += e.Length
+				}
+				continue
+			}
+			// Read: the aggregator loads the domain and distributes.
+			if me == d.Aggregator {
+				domBuf := make([]byte, d.Bytes)
+				var pos int64
+				for _, e := range d.Extents {
+					if _, err := file.ReadAt(domBuf[pos:pos+e.Length], e.Offset); err != nil {
+						panic(err)
+					}
+					pos += e.Length
+				}
+				for j, r := range sched.contributors {
+					chunk := gather(d.Extents, domBuf, sched.overlap[j])
+					if r == me {
+						scatter(normReq[me], data[me].Buf, sched.overlap[j], chunk)
+					} else {
+						p.Send(r, i, chunk)
+					}
+				}
+			}
+			if myIdx >= 0 && me != d.Aggregator {
+				chunk := p.Recv(d.Aggregator, i)
+				scatter(normReq[me], data[me].Buf, sched.overlap[myIdx], chunk)
+			}
+		}
+	})
+}
+
+// dataPos returns the data-space position of file offset off within the
+// normalized extent list exts. off must lie inside one of the extents.
+func dataPos(exts []pfs.Extent, off int64) int64 {
+	var pos int64
+	for _, e := range exts {
+		if off >= e.Offset && off < e.End() {
+			return pos + (off - e.Offset)
+		}
+		pos += e.Length
+	}
+	panic(fmt.Sprintf("collio: offset %d outside extents %v", off, exts))
+}
+
+// gather copies the bytes of the want extents (each contained in a single
+// extent of exts) out of a buffer laid out per exts, concatenated in file
+// order.
+func gather(exts []pfs.Extent, buf []byte, want []pfs.Extent) []byte {
+	out := make([]byte, 0, pfs.TotalBytes(want))
+	for _, w := range want {
+		pos := dataPos(exts, w.Offset)
+		out = append(out, buf[pos:pos+w.Length]...)
+	}
+	return out
+}
+
+// scatter is the inverse of gather: it places data (the concatenation of
+// the want extents in file order) into a buffer laid out per exts.
+func scatter(exts []pfs.Extent, buf []byte, want []pfs.Extent, data []byte) {
+	var read int64
+	for _, w := range want {
+		pos := dataPos(exts, w.Offset)
+		copy(buf[pos:pos+w.Length], data[read:read+w.Length])
+		read += w.Length
+	}
+	if read != int64(len(data)) {
+		panic(fmt.Sprintf("collio: scatter consumed %d of %d bytes", read, len(data)))
+	}
+}

@@ -1,0 +1,71 @@
+package collio
+
+import (
+	"fmt"
+
+	"mcio/internal/pfs"
+)
+
+// ExtentIndex answers "how many bytes of this rank's request fall into
+// each bucket" in one merge-walk per rank, where the buckets (file domains
+// or partition-tree leaves) are disjoint and ascending in file order. The
+// naive per-bucket intersection is O(buckets × extents) per rank, which is
+// prohibitive for coll_perf-scale requests; the index makes it
+// O(extents + bucket extents).
+type ExtentIndex struct {
+	flat   []pfs.Extent // all bucket extents, ascending, disjoint
+	bucket []int        // bucket id per flat extent
+	n      int          // number of buckets
+}
+
+// NewExtentIndex builds an index over the buckets. Each bucket's extents
+// must be normalized, and buckets must be disjoint and ascending (bucket
+// i's last byte before bucket i+1's first) — which plan domains and
+// partition-tree leaves are by construction. It panics otherwise, as that
+// indicates a planner bug.
+func NewExtentIndex(buckets [][]pfs.Extent) *ExtentIndex {
+	idx := &ExtentIndex{n: len(buckets)}
+	var prevEnd int64 = -1
+	for b, exts := range buckets {
+		for _, e := range exts {
+			if e.Length <= 0 {
+				panic(fmt.Sprintf("collio: bucket %d has empty extent", b))
+			}
+			if e.Offset < prevEnd {
+				panic(fmt.Sprintf("collio: bucket %d extents overlap or are out of order", b))
+			}
+			prevEnd = e.End()
+			idx.flat = append(idx.flat, e)
+			idx.bucket = append(idx.bucket, b)
+		}
+	}
+	return idx
+}
+
+// OverlapBytes returns the bytes of exts (normalized or not) landing in
+// each bucket, indexed by bucket id.
+func (x *ExtentIndex) OverlapBytes(exts []pfs.Extent) []int64 {
+	out := make([]int64, x.n)
+	norm := pfs.NormalizeExtents(exts)
+	i, j := 0, 0
+	for i < len(norm) && j < len(x.flat) {
+		a, b := norm[i], x.flat[j]
+		lo := a.Offset
+		if b.Offset > lo {
+			lo = b.Offset
+		}
+		hi := a.End()
+		if b.End() < hi {
+			hi = b.End()
+		}
+		if hi > lo {
+			out[x.bucket[j]] += hi - lo
+		}
+		if a.End() < b.End() {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}

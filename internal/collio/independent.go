@@ -1,0 +1,63 @@
+package collio
+
+import (
+	"mcio/internal/pfs"
+	"mcio/internal/sim"
+)
+
+// CostIndependent prices the same requests issued as independent
+// (non-collective) I/O: every rank sends its own flattened extents
+// straight to the storage targets, with no aggregation, no shuffle, and
+// no request merging beyond what a single rank's own extents provide.
+// This is the §2 motivation baseline: many small noncontiguous requests
+// hitting the file system directly.
+//
+// Each rank's accesses are priced in one logical round — independent I/O
+// has no collective buffer to cycle — so the bottleneck is the most
+// loaded storage target plus each node's own traffic.
+func CostIndependent(ctx *Context, reqs []RankRequest, op Op, opt sim.Options) (*CostResult, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	st := sim.StorageParams{
+		Targets:         ctx.FS.Targets,
+		TargetBW:        ctx.FS.TargetBW,
+		ReqOverhead:     ctx.FS.ReqOverhead,
+		NoncontigFactor: ctx.FS.NoncontigFactor,
+		ReadBWFactor:    ctx.FS.ReadBWFactor,
+	}
+	eng, err := sim.NewEngine(ctx.Machine, st, opt)
+	if err != nil {
+		return nil, err
+	}
+	var round sim.Round
+	var userBytes int64
+	for _, r := range reqs {
+		norm := pfs.NormalizeExtents(r.Extents)
+		if len(norm) == 0 {
+			continue
+		}
+		userBytes += pfs.TotalBytes(norm)
+		node := ctx.Topo.NodeOf(r.Rank)
+		for _, acc := range ctx.FS.MapExtents(norm) {
+			round.IOOps = append(round.IOOps, sim.IOOp{
+				Target:     acc.Target,
+				Node:       node,
+				Bytes:      acc.Bytes,
+				Requests:   acc.Requests,
+				Contiguous: acc.Contiguous,
+				Write:      op == Write,
+			})
+		}
+	}
+	eng.RunRound(round)
+	return &CostResult{
+		Strategy:  "independent",
+		Op:        op,
+		UserBytes: userBytes,
+		Seconds:   eng.Elapsed(),
+		Bandwidth: eng.Bandwidth(userBytes),
+		Totals:    eng.Totals(),
+		MaxRounds: 1,
+	}, nil
+}

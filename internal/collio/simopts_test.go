@@ -1,0 +1,6 @@
+package collio
+
+import "mcio/internal/sim"
+
+// simOptions returns the default engine options used across collio tests.
+func simOptions() sim.Options { return sim.DefaultOptions() }

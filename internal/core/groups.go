@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sort"
+
+	"mcio/internal/collio"
+	"mcio/internal/pfs"
+)
+
+// Group is one aggregation group: a contiguous window of the file whose
+// aggregation traffic is confined to the member ranks (§3.1). Groups are
+// disjoint and together cover the whole aggregate access region.
+type Group struct {
+	Index int
+	// Region is the file window [Region.Offset, Region.End()).
+	Region pfs.Extent
+	// Extents is the requested data inside the window, normalized.
+	Extents []pfs.Extent
+	// Ranks are the members: every rank with data inside the window,
+	// ascending.
+	Ranks []int
+}
+
+// DivideGroups splits the aggregate I/O workload into aggregation groups
+// of roughly MsgGroup data bytes each.
+//
+// The boundary rule follows §3.1 and Figure 4: a tentative boundary is
+// placed after MsgGroup data bytes ("an offset calculation guided by the
+// optimal group message size"); when the data of some compute node
+// straddles the tentative boundary, the boundary is extended to the ending
+// offset of the data accessed by the last process of that node, so that
+// "processes from the same physical node become I/O aggregators for
+// different groups" is avoided. For interleaved patterns, where every
+// node's data spans nearly the whole file and such an extension would
+// swallow it (the paper defers these to file-view analysis), the extension
+// is capped at half a group: boundaries fall back to pure offset
+// calculation, dividing the file region into MsgGroup-sized windows.
+func DivideGroups(ctx *collio.Context, reqs []collio.RankRequest) []Group {
+	var all []pfs.Extent
+	normReq := make(map[int][]pfs.Extent, len(reqs))
+	for _, r := range reqs {
+		n := pfs.NormalizeExtents(r.Extents)
+		if len(n) > 0 {
+			normReq[r.Rank] = n
+			all = append(all, n...)
+		}
+	}
+	norm := pfs.NormalizeExtents(all)
+	if len(norm) == 0 {
+		return nil
+	}
+
+	// Per-node data span (lowest start, highest end over the node's ranks).
+	type span struct{ lo, hi int64 }
+	nodeSpan := map[int]span{}
+	for rank, exts := range normReq {
+		node := ctx.Topo.NodeOf(rank)
+		s, ok := nodeSpan[node]
+		if !ok {
+			s = span{lo: exts[0].Offset, hi: exts[len(exts)-1].End()}
+		} else {
+			if exts[0].Offset < s.lo {
+				s.lo = exts[0].Offset
+			}
+			if e := exts[len(exts)-1].End(); e > s.hi {
+				s.hi = e
+			}
+		}
+		nodeSpan[node] = s
+	}
+	nodes := make([]int, 0, len(nodeSpan))
+	for n := range nodeSpan {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+
+	msgGroup := ctx.Params.MsgGroup
+	end := norm[len(norm)-1].End()
+	var groups []Group
+	cur := norm[0].Offset
+	for cur < end {
+		remaining := pfs.Clip(norm, cur, end)
+		if len(remaining) == 0 {
+			break
+		}
+		slice := pfs.SliceData(remaining, 0, msgGroup)
+		b := slice[len(slice)-1].End() // tentative boundary after MsgGroup data bytes
+		if b < end {
+			// Fig 4 extension: snap to the ending offset of the data of any
+			// node straddling the boundary, unless that extension exceeds
+			// half a group (interleaved pattern guard).
+			var ext int64
+			for _, n := range nodes {
+				s := nodeSpan[n]
+				if s.lo < b && s.hi > b && s.hi > ext {
+					ext = s.hi
+				}
+			}
+			if ext > b && ext-b <= msgGroup/2 {
+				b = ext
+			}
+			if b > end {
+				b = end
+			}
+		}
+		g := Group{
+			Index:   len(groups),
+			Region:  pfs.Extent{Offset: cur, Length: b - cur},
+			Extents: pfs.Clip(norm, cur, b),
+		}
+		for rank, exts := range normReq {
+			if len(pfs.Clip(exts, cur, b)) > 0 {
+				g.Ranks = append(g.Ranks, rank)
+			}
+		}
+		sort.Ints(g.Ranks)
+		groups = append(groups, g)
+		cur = b
+	}
+	return groups
+}

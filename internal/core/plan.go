@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mcio/internal/collio"
+	"mcio/internal/memmodel"
+	"mcio/internal/pfs"
+)
+
+// Strategy is the memory-conscious collective I/O planner.
+type Strategy struct{}
+
+// New returns the memory-conscious strategy.
+func New() *Strategy { return &Strategy{} }
+
+// Name implements collio.Strategy.
+func (s *Strategy) Name() string { return "memory-conscious" }
+
+// Plan implements collio.Strategy. It runs the four components of §3 in
+// order: aggregation group division, workload partition, portion
+// remerging, and aggregator location.
+func (s *Strategy) Plan(ctx *collio.Context, reqs []collio.RankRequest) (*collio.Plan, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	for _, r := range reqs {
+		if r.Rank < 0 || r.Rank >= ctx.Topo.Size() {
+			return nil, fmt.Errorf("core: request for invalid rank %d", r.Rank)
+		}
+	}
+	// Determine the effective Msg_ind for this machine state, as §3's
+	// parameter-determination step does: a file domain must be backed by
+	// an aggregation buffer, so the domain count cannot usefully exceed
+	// the aggregator slots the available memory supports (at most N_ah
+	// per node, one CollBufSize buffer each). Planning with a smaller
+	// Msg_ind would only trigger immediate remerging or over-commit.
+	effCtx := *ctx
+	effCtx.Params = capacityParams(ctx, reqs)
+	ctx = &effCtx
+
+	groups := DivideGroups(ctx, reqs)
+	plan := &collio.Plan{Strategy: s.Name(), Groups: len(groups)}
+	if len(groups) == 0 {
+		plan.GroupRanks = [][]int{}
+		return plan, nil
+	}
+
+	normReq := make(map[int][]pfs.Extent, len(reqs))
+	for _, r := range reqs {
+		if n := pfs.NormalizeExtents(r.Extents); len(n) > 0 {
+			normReq[r.Rank] = n
+		}
+	}
+
+	// Aggregator bookkeeping spans groups: a host's N_ah budget and its
+	// available memory are machine-wide resources.
+	tracker := memmodel.NewTrackerFromAvail(ctx.Avail)
+	aggsOnHost := make(map[int]int)
+
+	for _, g := range groups {
+		plan.GroupRanks = append(plan.GroupRanks, g.Ranks)
+		tree, err := BuildTree(g.Extents, ctx.Params.MsgInd)
+		if err != nil {
+			return nil, err
+		}
+		domains, err := s.placeGroup(ctx, tree, g, normReq, tracker, aggsOnHost)
+		if err != nil {
+			return nil, err
+		}
+		plan.Domains = append(plan.Domains, domains...)
+	}
+	return plan, nil
+}
+
+// placeGroup assigns an aggregator to every leaf of the group's partition
+// tree, remerging leaves whose candidate hosts cannot satisfy Mem_min
+// (§3.2-3.3). It returns the group's domains in file order.
+func (s *Strategy) placeGroup(
+	ctx *collio.Context,
+	tree *PartitionTree,
+	g Group,
+	normReq map[int][]pfs.Extent,
+	tracker *memmodel.Tracker,
+	aggsOnHost map[int]int,
+) ([]collio.Domain, error) {
+	placed := make(map[*TreeNode]*collio.Domain)
+
+	// contributions computes, for the current leaf set, each contributing
+	// rank's bytes per leaf in one merge-walk per rank.
+	contributions := func(leaves []*TreeNode) [][]rankContribution {
+		buckets := make([][]pfs.Extent, len(leaves))
+		for i, l := range leaves {
+			buckets[i] = l.Extents
+		}
+		out := make([][]rankContribution, len(leaves))
+		if len(leaves) == 0 {
+			return out
+		}
+		index := collio.NewExtentIndex(buckets)
+		for _, r := range g.Ranks {
+			exts := normReq[r]
+			if len(exts) == 0 {
+				continue
+			}
+			for i, b := range index.OverlapBytes(exts) {
+				if b > 0 {
+					out[i] = append(out[i], rankContribution{rank: r, bytes: b})
+				}
+			}
+		}
+		return out
+	}
+
+	for {
+		progressed := false
+		leaves := tree.Leaves()
+		contribs := contributions(leaves)
+		for li, leaf := range leaves {
+			if _, done := placed[leaf]; done {
+				continue
+			}
+			host, rank, ok := s.locate(ctx, contribs[li], tracker, aggsOnHost)
+			if ok {
+				buf := ctx.Params.CollBufSize
+				if avail := tracker.Avail(host); avail < buf {
+					// Adapt the buffer to what the host really has — the
+					// memory-conscious move that avoids paging entirely.
+					buf = avail
+				}
+				if buf > leaf.Bytes {
+					buf = leaf.Bytes
+				}
+				if buf < 1 {
+					buf = 1
+				}
+				tracker.Reserve(host, buf)
+				aggsOnHost[host]++
+				placed[leaf] = &collio.Domain{
+					Extents:     leaf.Extents,
+					Bytes:       leaf.Bytes,
+					Group:       g.Index,
+					Aggregator:  rank,
+					AggNode:     host,
+					BufferBytes: buf,
+				}
+				progressed = true
+				continue
+			}
+			// No related host can satisfy Mem_min: merge this portion into
+			// the neighbouring domain and keep inspecting (§3.3).
+			absorber, err := tree.Remerge(leaf)
+			if err != nil {
+				// leaf is the group's only domain: nothing to merge with.
+				// Fall back to the least-bad host — a real system must
+				// still perform the I/O — and record the over-commit so
+				// the cost model charges the paging it causes.
+				host, rank, ferr := s.fallback(ctx, contribs[li], g, tracker)
+				if ferr != nil {
+					return nil, ferr
+				}
+				// Memory-conscious to the last: shrink the buffer toward
+				// what the least-bad host still has (more rounds, no
+				// paging) before accepting any over-commit; the shrink is
+				// bounded at an eighth of the desired buffer so rounds
+				// cannot explode.
+				buf := ctx.Params.CollBufSize
+				if buf > leaf.Bytes {
+					buf = leaf.Bytes
+				}
+				minBuf := ctx.Params.CollBufSize / 8
+				if minBuf < 1 {
+					minBuf = 1
+				}
+				avail := tracker.Avail(host)
+				if avail < buf {
+					buf = avail
+					if buf < minBuf {
+						buf = minBuf
+					}
+				}
+				if buf < 1 {
+					buf = 1
+				}
+				severity := 0.0
+				if avail < buf {
+					severity = float64(buf-avail) / float64(buf)
+				}
+				tracker.Reserve(host, buf)
+				aggsOnHost[host]++
+				placed[leaf] = &collio.Domain{
+					Extents:       leaf.Extents,
+					Bytes:         leaf.Bytes,
+					Group:         g.Index,
+					Aggregator:    rank,
+					AggNode:       host,
+					BufferBytes:   buf,
+					PagedSeverity: severity,
+				}
+				progressed = true
+				continue
+			}
+			if dom, ok := placed[absorber]; ok {
+				// The absorbing domain was already placed (Fig 5b with a
+				// left neighbour): its region simply grows.
+				dom.Extents = absorber.Extents
+				dom.Bytes = absorber.Bytes
+			}
+			progressed = true
+			break // leaf set changed; re-enumerate
+		}
+		// Check completion: every current leaf placed.
+		allDone := true
+		for _, leaf := range tree.Leaves() {
+			if _, done := placed[leaf]; !done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		if !progressed {
+			return nil, fmt.Errorf("core: placement made no progress in group %d", g.Index)
+		}
+	}
+
+	leaves := tree.Leaves()
+	out := make([]collio.Domain, 0, len(leaves))
+	for _, leaf := range leaves {
+		dom := placed[leaf]
+		if dom == nil {
+			return nil, fmt.Errorf("core: leaf left unplaced in group %d", g.Index)
+		}
+		out = append(out, *dom)
+	}
+	return out, nil
+}
+
+// capacityParams raises Msg_ind (and, transitively, Msg_group) so the
+// workload's domain count fits the aggregator slots the current
+// availability can host: slots = Σ_nodes min(N_ah, avail/CollBufSize).
+func capacityParams(ctx *collio.Context, reqs []collio.RankRequest) collio.Params {
+	p := ctx.Params
+	var total int64
+	for _, r := range reqs {
+		total += r.Bytes()
+	}
+	if total == 0 {
+		return p
+	}
+	var slots int64
+	for node := 0; node < ctx.Topo.Nodes(); node++ {
+		perNode := ctx.Avail[node] / p.CollBufSize
+		if perNode > int64(p.Nah) {
+			perNode = int64(p.Nah)
+		}
+		slots += perNode
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	if floor := total / slots; p.MsgInd < floor {
+		p.MsgInd = floor
+	}
+	if p.MsgGroup < p.MsgInd {
+		p.MsgGroup = p.MsgInd
+	}
+	return p
+}
+
+// rankContribution records how many bytes of one rank's request fall in a
+// file domain.
+type rankContribution struct {
+	rank  int
+	bytes int64
+}
+
+// locate implements §3.3's aggregator location for one file domain: among
+// the hosts of processes whose requests fall in the domain, with fewer
+// than N_ah aggregators already, pick the one with maximum available
+// memory; succeed only if that maximum clears Mem_min. The chosen
+// aggregator process is the related rank on that host with the most data
+// in the domain (data-local placement), lowest rank on ties.
+func (s *Strategy) locate(
+	ctx *collio.Context,
+	contribs []rankContribution,
+	tracker *memmodel.Tracker,
+	aggsOnHost map[int]int,
+) (host, rank int, ok bool) {
+	type hostInfo struct {
+		bestRank  int
+		bestBytes int64
+	}
+	related := make(map[int]*hostInfo)
+	for _, c := range contribs {
+		n := ctx.Topo.NodeOf(c.rank)
+		hi := related[n]
+		if hi == nil {
+			related[n] = &hostInfo{bestRank: c.rank, bestBytes: c.bytes}
+		} else if c.bytes > hi.bestBytes {
+			hi.bestRank, hi.bestBytes = c.rank, c.bytes
+		}
+	}
+	hosts := make([]int, 0, len(related))
+	for n := range related {
+		if aggsOnHost[n] < ctx.Params.Nah {
+			hosts = append(hosts, n)
+		}
+	}
+	sort.Ints(hosts)
+	// Pick the host maximizing available memory discounted by the
+	// aggregators it already carries: §3.3's max-Mem_avl selection,
+	// tempered by the paper's stated goal of a "balanced memory
+	// consumption design" — piling every domain onto the single richest
+	// node would trade the memory win for a network hotspot.
+	best := -1
+	var bestScore float64 = -1
+	for _, n := range hosts {
+		if tracker.Avail(n) < ctx.Params.MemMin {
+			continue
+		}
+		score := float64(tracker.Avail(n)) / float64(1+aggsOnHost[n])
+		if score > bestScore {
+			best, bestScore = n, score
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, related[best].bestRank, true
+}
+
+// fallback picks the related host with the most available memory ignoring
+// the N_ah and Mem_min constraints — used only when a whole group cannot
+// satisfy the memory requirement and the I/O must proceed anyway.
+func (s *Strategy) fallback(
+	ctx *collio.Context,
+	contribs []rankContribution,
+	g Group,
+	tracker *memmodel.Tracker,
+) (host, rank int, err error) {
+	best := -1
+	bestRank := -1
+	var bestAvail int64 = -1
+	var bestBytes int64 = -1
+	for _, c := range contribs {
+		n := ctx.Topo.NodeOf(c.rank)
+		a := tracker.Avail(n)
+		if a > bestAvail || (a == bestAvail && c.bytes > bestBytes) {
+			best, bestAvail, bestRank, bestBytes = n, a, c.rank, c.bytes
+		}
+	}
+	if best < 0 {
+		return 0, 0, fmt.Errorf("core: domain in group %d has no related processes", g.Index)
+	}
+	return best, bestRank, nil
+}

@@ -1,0 +1,251 @@
+package datatype
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Distribution selects how one dimension of a distributed array is split
+// over a process-grid dimension, as in MPI_Type_create_darray.
+type Distribution int
+
+// Distributions supported by Darray.
+const (
+	// DistNone leaves the dimension undistributed: every process holds
+	// the whole dimension.
+	DistNone Distribution = iota
+	// DistBlock gives each process one contiguous block (remainder to
+	// the leading processes).
+	DistBlock
+	// DistCyclic deals single elements round-robin over the grid
+	// dimension.
+	DistCyclic
+)
+
+// Darray is a distributed-array datatype (MPI_Type_create_darray): the
+// portion of an N-dimensional row-major global array owned by one process
+// of an N-dimensional process grid. HPC applications use it to describe
+// each rank's file view of a shared dataset; it is the general form of
+// the block Subarray that coll_perf uses.
+type Darray struct {
+	// Rank is the process whose portion this type describes, numbered in
+	// row-major order over the process grid.
+	Rank int
+	// Sizes are the global array dimensions (elements).
+	Sizes []int64
+	// Distribs selects the distribution per dimension.
+	Distribs []Distribution
+	// PSizes are the process grid dimensions; their product is the
+	// process count.
+	PSizes []int
+	// ElemBytes is the element width.
+	ElemBytes int64
+}
+
+// Validate reports an error for inconsistent geometry.
+func (d Darray) Validate() error {
+	n := len(d.Sizes)
+	if n == 0 {
+		return fmt.Errorf("datatype: darray with no dimensions")
+	}
+	if len(d.Distribs) != n || len(d.PSizes) != n {
+		return fmt.Errorf("datatype: darray dimension mismatch: sizes=%d distribs=%d psizes=%d",
+			n, len(d.Distribs), len(d.PSizes))
+	}
+	if d.ElemBytes <= 0 {
+		return fmt.Errorf("datatype: darray element size %d must be positive", d.ElemBytes)
+	}
+	nprocs := 1
+	for dim, p := range d.PSizes {
+		if p <= 0 {
+			return fmt.Errorf("datatype: darray grid dim %d = %d, must be positive", dim, p)
+		}
+		if d.Distribs[dim] == DistNone && p != 1 {
+			return fmt.Errorf("datatype: darray dim %d undistributed but grid size %d", dim, p)
+		}
+		nprocs *= p
+	}
+	for dim, s := range d.Sizes {
+		if s <= 0 {
+			return fmt.Errorf("datatype: darray dim %d size %d must be positive", dim, s)
+		}
+	}
+	if d.Rank < 0 || d.Rank >= nprocs {
+		return fmt.Errorf("datatype: darray rank %d outside grid of %d", d.Rank, nprocs)
+	}
+	return nil
+}
+
+// coords returns the process's coordinates in the row-major grid.
+func (d Darray) coords() []int {
+	c := make([]int, len(d.PSizes))
+	r := d.Rank
+	for dim := len(d.PSizes) - 1; dim >= 0; dim-- {
+		c[dim] = r % d.PSizes[dim]
+		r /= d.PSizes[dim]
+	}
+	return c
+}
+
+// ownedIndices returns the global indices this process owns along one
+// dimension, ascending.
+func (d Darray) ownedIndices(dim int, coord int) []int64 {
+	size := d.Sizes[dim]
+	p := int64(d.PSizes[dim])
+	switch d.Distribs[dim] {
+	case DistNone:
+		out := make([]int64, size)
+		for i := range out {
+			out[i] = int64(i)
+		}
+		return out
+	case DistBlock:
+		start := blockStartIdx(size, p, int64(coord))
+		length := blockLenIdx(size, p, int64(coord))
+		out := make([]int64, length)
+		for i := range out {
+			out[i] = start + int64(i)
+		}
+		return out
+	case DistCyclic:
+		var out []int64
+		for i := int64(coord); i < size; i += p {
+			out = append(out, i)
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("datatype: unknown distribution %d", d.Distribs[dim]))
+	}
+}
+
+func blockStartIdx(n, parts, idx int64) int64 {
+	base := n / parts
+	rem := n % parts
+	if idx < rem {
+		return idx * (base + 1)
+	}
+	return rem*(base+1) + (idx-rem)*base
+}
+
+func blockLenIdx(n, parts, idx int64) int64 {
+	base := n / parts
+	if idx < n%parts {
+		return base + 1
+	}
+	return base
+}
+
+// Size implements Type.
+func (d Darray) Size() int64 {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	c := d.coords()
+	n := d.ElemBytes
+	for dim := range d.Sizes {
+		n *= int64(len(d.ownedIndices(dim, c[dim])))
+	}
+	return n
+}
+
+// Extent implements Type: the whole global array.
+func (d Darray) Extent() int64 {
+	n := d.ElemBytes
+	for _, s := range d.Sizes {
+		n *= s
+	}
+	return n
+}
+
+// Flatten implements Type: the owned element set as maximal contiguous
+// byte runs of the row-major global array.
+func (d Darray) Flatten() []Block {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	ndim := len(d.Sizes)
+	c := d.coords()
+	owned := make([][]int64, ndim)
+	for dim := range owned {
+		owned[dim] = d.ownedIndices(dim, c[dim])
+		if len(owned[dim]) == 0 {
+			return nil
+		}
+	}
+	stride := make([]int64, ndim)
+	stride[ndim-1] = d.ElemBytes
+	for dim := ndim - 2; dim >= 0; dim-- {
+		stride[dim] = stride[dim+1] * d.Sizes[dim+1]
+	}
+
+	// Runs along the last dimension: consecutive owned indices merge.
+	type run struct{ off, length int64 }
+	var lastRuns []run
+	start := owned[ndim-1][0]
+	prev := start
+	for _, idx := range owned[ndim-1][1:] {
+		if idx == prev+1 {
+			prev = idx
+			continue
+		}
+		lastRuns = append(lastRuns, run{off: start * stride[ndim-1], length: (prev - start + 1) * d.ElemBytes})
+		start, prev = idx, idx
+	}
+	lastRuns = append(lastRuns, run{off: start * stride[ndim-1], length: (prev - start + 1) * d.ElemBytes})
+
+	// Outer dimensions enumerate their owned index combinations.
+	blocks := []Block{}
+	idx := make([]int, ndim-1)
+	for {
+		var base int64
+		for dim := 0; dim < ndim-1; dim++ {
+			base += owned[dim][idx[dim]] * stride[dim]
+		}
+		for _, r := range lastRuns {
+			blocks = append(blocks, Block{Offset: base + r.off, Length: r.length})
+		}
+		dim := ndim - 2
+		for ; dim >= 0; dim-- {
+			idx[dim]++
+			if idx[dim] < len(owned[dim]) {
+				break
+			}
+			idx[dim] = 0
+		}
+		if dim < 0 {
+			break
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Offset < blocks[j].Offset })
+	return coalesce(blocks)
+}
+
+// Repeated tiles an inner datatype Count times end to end (by extent), as
+// MPI_Type_contiguous does for derived types.
+type Repeated struct {
+	Inner Type
+	Count int
+}
+
+// Size implements Type.
+func (r Repeated) Size() int64 { return int64(r.Count) * r.Inner.Size() }
+
+// Extent implements Type.
+func (r Repeated) Extent() int64 { return int64(r.Count) * r.Inner.Extent() }
+
+// Flatten implements Type.
+func (r Repeated) Flatten() []Block {
+	if r.Count <= 0 {
+		return nil
+	}
+	inner := r.Inner.Flatten()
+	ext := r.Inner.Extent()
+	blocks := make([]Block, 0, len(inner)*r.Count)
+	for i := 0; i < r.Count; i++ {
+		base := int64(i) * ext
+		for _, b := range inner {
+			blocks = append(blocks, Block{Offset: base + b.Offset, Length: b.Length})
+		}
+	}
+	return coalesce(blocks)
+}

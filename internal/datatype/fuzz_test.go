@@ -1,0 +1,97 @@
+package datatype
+
+import "testing"
+
+// FuzzViewExtents checks View.Extents against a naive byte-by-byte
+// expansion of the tiled filetype for arbitrary vector geometries and
+// data ranges.
+func FuzzViewExtents(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint8(2), uint8(5), uint16(7), uint16(20))
+	f.Add(uint8(1), uint8(1), uint8(0), uint8(0), uint16(0), uint16(1))
+	f.Fuzz(func(t *testing.T, countRaw, blockRaw, gapRaw, dispRaw uint8, offRaw, nRaw uint16) {
+		count := int(countRaw%5) + 1
+		block := int64(blockRaw%16) + 1
+		stride := block + int64(gapRaw%16)
+		disp := int64(dispRaw % 64)
+		v := View{
+			Disp:     disp,
+			Filetype: Vector{Count: count, BlockLen: block, Stride: stride},
+		}
+		dataOff := int64(offRaw % 512)
+		n := int64(nRaw%512) + 1
+
+		got := v.Extents(dataOff, n)
+
+		// Naive oracle: enumerate data bytes one by one through the tiled
+		// type and collect their file offsets.
+		tileSize := v.Filetype.Size()
+		tileExtent := v.Filetype.Extent()
+		blocks := v.Filetype.Flatten()
+		fileOf := func(dataPos int64) int64 {
+			tile := dataPos / tileSize
+			within := dataPos % tileSize
+			for _, b := range blocks {
+				if within < b.Length {
+					return disp + tile*tileExtent + b.Offset + within
+				}
+				within -= b.Length
+			}
+			t.Fatalf("dataPos %d outside tile of size %d", dataPos, tileSize)
+			return 0
+		}
+		want := map[int64]bool{}
+		for i := int64(0); i < n; i++ {
+			want[fileOf(dataOff+i)] = true
+		}
+		var gotBytes int64
+		for _, e := range got {
+			for b := e.Offset; b < e.End(); b++ {
+				if !want[b] {
+					t.Fatalf("Extents produced byte %d not in oracle", b)
+				}
+				gotBytes++
+			}
+		}
+		if gotBytes != int64(len(want)) {
+			t.Fatalf("Extents covered %d bytes, oracle has %d", gotBytes, len(want))
+		}
+	})
+}
+
+// FuzzSubarrayFlatten checks the subarray invariants for arbitrary small
+// geometries.
+func FuzzSubarrayFlatten(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(1), uint8(4), uint8(2), uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, s0, sub0, st0, s1, sub1, st1, elemRaw uint8) {
+		size0 := int64(s0%6) + 1
+		size1 := int64(s1%6) + 1
+		ss0 := int64(sub0%uint8(size0)) + 1
+		ss1 := int64(sub1%uint8(size1)) + 1
+		start0 := int64(st0) % (size0 - ss0 + 1)
+		start1 := int64(st1) % (size1 - ss1 + 1)
+		elem := int64(elemRaw%4) + 1
+		sa := Subarray{
+			Sizes:     []int64{size0, size1},
+			Subsizes:  []int64{ss0, ss1},
+			Starts:    []int64{start0, start1},
+			ElemBytes: elem,
+		}
+		if err := sa.Validate(); err != nil {
+			t.Fatalf("geometry should be valid: %v", err)
+		}
+		blocks := sa.Flatten()
+		var total int64
+		for i, b := range blocks {
+			total += b.Length
+			if b.Offset < 0 || b.Offset+b.Length > sa.Extent() {
+				t.Fatal("block outside extent")
+			}
+			if i > 0 && b.Offset < blocks[i-1].Offset+blocks[i-1].Length {
+				t.Fatal("blocks overlap or unsorted")
+			}
+		}
+		if total != sa.Size() {
+			t.Fatalf("blocks cover %d bytes, size is %d", total, sa.Size())
+		}
+	})
+}

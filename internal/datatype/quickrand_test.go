@@ -1,0 +1,13 @@
+package datatype
+
+import (
+	mrand "math/rand"
+
+	"mcio/internal/stats"
+)
+
+// quickRand adapts a stats.RNG into the *math/rand.Rand that testing/quick
+// expects, keeping property tests seeded and reproducible.
+func quickRand(r *stats.RNG) *mrand.Rand {
+	return mrand.New(mrand.NewSource(int64(r.Uint64())))
+}

@@ -1,0 +1,52 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interpolate returns a machine design point on the 2010→2018 trajectory
+// of the paper's Table 1, with t = 0 at Petascale2010 and t = 1 at
+// Exascale2018. Every resource figure moves geometrically (hardware
+// trends are exponential), so t = 0.5 is the notional ~2014 machine. The
+// projection is the paper's own argument made continuous: memory per core
+// and bandwidth per core decay along the whole path while total
+// concurrency explodes.
+func Interpolate(t float64) Config {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	p, e := Petascale2010(), Exascale2018()
+	geoF := func(a, b float64) float64 {
+		return a * math.Pow(b/a, t)
+	}
+	geoI := func(a, b int64) int64 {
+		v := int64(math.Round(geoF(float64(a), float64(b))))
+		if v < 1 {
+			return 1
+		}
+		return v
+	}
+	cfg := Config{
+		Name:                   fmt.Sprintf("trajectory-t%.2f", t),
+		Nodes:                  int(geoI(int64(p.Nodes), int64(e.Nodes))),
+		CoresPerNode:           int(geoI(int64(p.CoresPerNode), int64(e.CoresPerNode))),
+		MemBandwidth:           geoF(p.MemBandwidth, e.MemBandwidth),
+		NICBandwidth:           geoF(p.NICBandwidth, e.NICBandwidth),
+		NetLatency:             geoF(p.NetLatency, e.NetLatency),
+		PagedBandwidthFraction: p.PagedBandwidthFraction,
+		PeakFlops:              geoF(p.PeakFlops, e.PeakFlops),
+		PowerWatts:             geoF(p.PowerWatts, e.PowerWatts),
+		SystemMemory:           geoI(p.SystemMemory, e.SystemMemory),
+		NodeFlops:              geoF(p.NodeFlops, e.NodeFlops),
+		Storage:                geoI(p.Storage, e.Storage),
+		IOBandwidth:            geoF(p.IOBandwidth, e.IOBandwidth),
+		InterconnBW:            geoF(p.InterconnBW, e.InterconnBW),
+	}
+	cfg.MemPerNode = cfg.SystemMemory / int64(cfg.Nodes)
+	cfg.TotalConcurr = int64(cfg.Nodes) * int64(cfg.CoresPerNode)
+	return cfg
+}

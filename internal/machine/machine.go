@@ -1,0 +1,171 @@
+// Package machine models the compute platform a collective I/O operation
+// runs on: nodes with cores, per-node memory capacity and availability,
+// off-chip memory bandwidth, and NIC injection bandwidth.
+//
+// The package ships three presets: the paper's 640-node Lustre testbed
+// (Testbed640) and the 2010-petascale / 2018-exascale design points of the
+// paper's Table 1 (Petascale2010, Exascale2018). The simulator only ever
+// consumes the per-node resource figures, so an experiment can scale any
+// preset down to the rank counts the paper uses (120, 1080) while keeping
+// the resource *ratios* — which is what the paper's argument is about.
+package machine
+
+import "fmt"
+
+// Byte-size units. Bandwidths are bytes per second.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+	TB int64 = 1 << 40
+	PB int64 = 1 << 50
+)
+
+// Config describes one machine design point.
+type Config struct {
+	Name string
+
+	// Compute-side resources.
+	Nodes        int   // number of compute nodes
+	CoresPerNode int   // hardware concurrency per node
+	MemPerNode   int64 // bytes of DRAM per node
+
+	// Per-node bandwidths in bytes/second.
+	MemBandwidth float64 // off-chip (DRAM) bandwidth per node
+	NICBandwidth float64 // interconnect injection bandwidth per node
+
+	// NetLatency is the fixed per-message network cost in seconds.
+	NetLatency float64
+
+	// PagedBandwidthFraction is the fraction of MemBandwidth an aggregator
+	// achieves once its aggregation buffer no longer fits in the host's
+	// available memory (the machine starts paging / evicting). The paper
+	// induces exactly this regime by flushing caches and shrinking buffers.
+	PagedBandwidthFraction float64
+
+	// System-level design figures; carried for Table 1 reporting and for
+	// provisioning the storage model, not consumed per-operation.
+	PeakFlops    float64 // system peak, flop/s
+	PowerWatts   float64
+	SystemMemory int64   // total bytes
+	NodeFlops    float64 // per-node peak, flop/s
+	Storage      int64   // total storage bytes
+	IOBandwidth  float64 // aggregate storage bandwidth, bytes/s
+	TotalConcurr int64   // total hardware concurrency (Table 1 row)
+	InterconnBW  float64 // interconnect bandwidth per node (Table 1 row, bytes/s)
+}
+
+// Validate reports an error when the configuration cannot drive the
+// simulator (non-positive counts or bandwidths).
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("machine %q: Nodes = %d, must be positive", c.Name, c.Nodes)
+	case c.CoresPerNode <= 0:
+		return fmt.Errorf("machine %q: CoresPerNode = %d, must be positive", c.Name, c.CoresPerNode)
+	case c.MemPerNode <= 0:
+		return fmt.Errorf("machine %q: MemPerNode = %d, must be positive", c.Name, c.MemPerNode)
+	case c.MemBandwidth <= 0:
+		return fmt.Errorf("machine %q: MemBandwidth must be positive", c.Name)
+	case c.NICBandwidth <= 0:
+		return fmt.Errorf("machine %q: NICBandwidth must be positive", c.Name)
+	case c.NetLatency < 0:
+		return fmt.Errorf("machine %q: NetLatency must be non-negative", c.Name)
+	case c.PagedBandwidthFraction <= 0 || c.PagedBandwidthFraction > 1:
+		return fmt.Errorf("machine %q: PagedBandwidthFraction must be in (0,1]", c.Name)
+	}
+	return nil
+}
+
+// MemPerCore returns the paper's headline scarcity metric: bytes of memory
+// per hardware core.
+func (c Config) MemPerCore() int64 {
+	return c.MemPerNode / int64(c.CoresPerNode)
+}
+
+// MemBWPerCore returns off-chip bandwidth per core in bytes/second.
+func (c Config) MemBWPerCore() float64 {
+	return c.MemBandwidth / float64(c.CoresPerNode)
+}
+
+// Testbed640 models the evaluation platform of the paper's Section 4: a
+// 640-node Linux cluster, two 6-core 2.8 GHz Xeons and 24 GB per node, DDR
+// InfiniBand (~2 GB/s injection), DDN-backed Lustre.
+func Testbed640() Config {
+	return Config{
+		Name:                   "testbed-640",
+		Nodes:                  640,
+		CoresPerNode:           12,
+		MemPerNode:             24 * GB,
+		MemBandwidth:           25 * float64(GB),
+		NICBandwidth:           2 * float64(GB),
+		NetLatency:             5e-6,
+		PagedBandwidthFraction: 0.25,
+		PeakFlops:              640 * 12 * 2.8e9 * 4,
+		SystemMemory:           640 * 24 * GB,
+		NodeFlops:              12 * 2.8e9 * 4,
+		Storage:                600 * TB,
+		IOBandwidth:            12 * float64(GB),
+		TotalConcurr:           640 * 12,
+		InterconnBW:            2 * float64(GB),
+	}
+}
+
+// Petascale2010 is the "2010" column of the paper's Table 1.
+func Petascale2010() Config {
+	return Config{
+		Name:                   "petascale-2010",
+		Nodes:                  20_000,
+		CoresPerNode:           12,
+		MemPerNode:             3 * PB / 10 / 20_000,
+		MemBandwidth:           25 * float64(GB),
+		NICBandwidth:           1.5 * float64(GB),
+		NetLatency:             2e-6,
+		PagedBandwidthFraction: 0.25,
+		PeakFlops:              2e15,
+		PowerWatts:             6e6,
+		SystemMemory:           3 * PB / 10,
+		NodeFlops:              0.125e12,
+		Storage:                15 * PB,
+		IOBandwidth:            0.2 * float64(TB),
+		TotalConcurr:           225_000,
+		InterconnBW:            1.5 * float64(GB),
+	}
+}
+
+// Exascale2018 is the "2018" column of the paper's Table 1: a projected
+// exascale design with 1M nodes of 1000 cores, where memory per core drops
+// to ~10 MB and per-core off-chip bandwidth to ~0.4 GB/s.
+func Exascale2018() Config {
+	return Config{
+		Name:                   "exascale-2018",
+		Nodes:                  1_000_000,
+		CoresPerNode:           1000,
+		MemPerNode:             10 * PB / 1_000_000,
+		MemBandwidth:           400 * float64(GB),
+		NICBandwidth:           50 * float64(GB),
+		NetLatency:             1e-6,
+		PagedBandwidthFraction: 0.25,
+		PeakFlops:              1e18,
+		PowerWatts:             20e6,
+		SystemMemory:           10 * PB,
+		NodeFlops:              10e12,
+		Storage:                300 * PB,
+		IOBandwidth:            20 * float64(TB),
+		TotalConcurr:           1_000_000_000,
+		InterconnBW:            50 * float64(GB),
+	}
+}
+
+// Scaled returns a copy of c with the node count replaced by nodes, leaving
+// all per-node resources untouched. Experiments use this to run the paper's
+// 120- and 1080-process configurations on a preset's per-node resource
+// ratios.
+func (c Config) Scaled(nodes int) Config {
+	out := c
+	out.Nodes = nodes
+	out.Name = fmt.Sprintf("%s/x%d", c.Name, nodes)
+	out.SystemMemory = int64(nodes) * c.MemPerNode
+	out.TotalConcurr = int64(nodes) * int64(c.CoresPerNode)
+	return out
+}

@@ -1,0 +1,67 @@
+package machine
+
+import "fmt"
+
+// Node is one compute node instance of a Machine. Resource figures start
+// out uniform (copied from the Config); the memory model perturbs
+// Avail per node to create the availability variance the paper studies.
+type Node struct {
+	ID       int
+	Capacity int64   // total DRAM, bytes
+	Avail    int64   // memory currently available for aggregation buffers
+	MemBW    float64 // off-chip bandwidth, bytes/s
+	NICBW    float64 // injection bandwidth, bytes/s
+}
+
+// Machine is an instantiated cluster: a validated Config plus one Node per
+// configured node.
+type Machine struct {
+	Cfg   Config
+	Nodes []*Node
+}
+
+// New instantiates a Machine from cfg. The instance starts with every
+// node's available memory equal to its capacity.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Cfg: cfg, Nodes: make([]*Node, cfg.Nodes)}
+	for i := range m.Nodes {
+		m.Nodes[i] = &Node{
+			ID:       i,
+			Capacity: cfg.MemPerNode,
+			Avail:    cfg.MemPerNode,
+			MemBW:    cfg.MemBandwidth,
+			NICBW:    cfg.NICBandwidth,
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New, panicking on invalid configuration. Use in tests and
+// examples where the config is a literal.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Node returns the node with the given ID, or an error if out of range.
+func (m *Machine) Node(id int) (*Node, error) {
+	if id < 0 || id >= len(m.Nodes) {
+		return nil, fmt.Errorf("machine: node %d out of range [0,%d)", id, len(m.Nodes))
+	}
+	return m.Nodes[id], nil
+}
+
+// AvailMemory returns each node's available memory, indexed by node ID.
+func (m *Machine) AvailMemory() []int64 {
+	out := make([]int64, len(m.Nodes))
+	for i, n := range m.Nodes {
+		out[i] = n.Avail
+	}
+	return out
+}

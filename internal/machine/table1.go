@@ -1,0 +1,120 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Row is one row of the paper's Table 1 ("Potential exascale computer
+// design and its relationship to current HPC designs").
+type Table1Row struct {
+	Metric string
+	V2010  string
+	V2018  string
+	Factor string
+}
+
+// Table1 regenerates the paper's Table 1 from the two design-point presets.
+// Every figure is computed from the Config fields, not hard-coded strings,
+// so the table stays consistent with what the simulator actually uses.
+func Table1() []Table1Row {
+	p, e := Petascale2010(), Exascale2018()
+	factor := func(a, b float64) string {
+		if a == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", b/a)
+	}
+	return []Table1Row{
+		{"System Peak", flops(p.PeakFlops), flops(e.PeakFlops), factor(p.PeakFlops, e.PeakFlops)},
+		{"Power", watts(p.PowerWatts), watts(e.PowerWatts), factor(p.PowerWatts, e.PowerWatts)},
+		{"System Memory", bytesStr(p.SystemMemory), bytesStr(e.SystemMemory), factor(float64(p.SystemMemory), float64(e.SystemMemory))},
+		{"Node Performance", flops(p.NodeFlops), flops(e.NodeFlops), factor(p.NodeFlops, e.NodeFlops)},
+		{"Node Memory BW", bw(p.MemBandwidth), bw(e.MemBandwidth), factor(p.MemBandwidth, e.MemBandwidth)},
+		{"Node Concurrency", fmt.Sprintf("%d CPUs", p.CoresPerNode), fmt.Sprintf("%d CPUs", e.CoresPerNode), factor(float64(p.CoresPerNode), float64(e.CoresPerNode))},
+		{"Interconnect BW", bw(p.InterconnBW), bw(e.InterconnBW), factor(p.InterconnBW, e.InterconnBW)},
+		{"System Size (nodes)", count(int64(p.Nodes)), count(int64(e.Nodes)), factor(float64(p.Nodes), float64(e.Nodes))},
+		{"Total Concurrency", count(p.TotalConcurr), count(e.TotalConcurr), factor(float64(p.TotalConcurr), float64(e.TotalConcurr))},
+		{"Storage", bytesStr(p.Storage), bytesStr(e.Storage), factor(float64(p.Storage), float64(e.Storage))},
+		{"I/O Bandwidth", bw(p.IOBandwidth), bw(e.IOBandwidth), factor(p.IOBandwidth, e.IOBandwidth)},
+		{"Memory per Core", bytesStr(p.MemPerCore()), bytesStr(e.MemPerCore()),
+			factor(float64(p.MemPerCore()), float64(e.MemPerCore()))},
+		{"Memory BW per Core", bw(p.MemBWPerCore()), bw(e.MemBWPerCore()),
+			factor(p.MemBWPerCore(), e.MemBWPerCore())},
+	}
+}
+
+// RenderTable1 formats Table1 as an aligned text table.
+func RenderTable1() string {
+	rows := Table1()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %14s %14s %8s\n", "Metric", "2010", "2018", "Factor")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %14s %14s %8s\n", r.Metric, r.V2010, r.V2018, r.Factor)
+	}
+	return b.String()
+}
+
+func flops(f float64) string {
+	switch {
+	case f >= 1e18:
+		return fmt.Sprintf("%.3g Ef/s", f/1e18)
+	case f >= 1e15:
+		return fmt.Sprintf("%.3g Pf/s", f/1e15)
+	case f >= 1e12:
+		return fmt.Sprintf("%.3g Tf/s", f/1e12)
+	default:
+		return fmt.Sprintf("%.3g Gf/s", f/1e9)
+	}
+}
+
+func watts(w float64) string {
+	if w == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3g MW", w/1e6)
+}
+
+func bytesStr(n int64) string {
+	f := float64(n)
+	switch {
+	case n >= PB:
+		return fmt.Sprintf("%.3g PB", f/float64(PB))
+	case n >= TB:
+		return fmt.Sprintf("%.3g TB", f/float64(TB))
+	case n >= GB:
+		return fmt.Sprintf("%.3g GB", f/float64(GB))
+	case n >= MB:
+		return fmt.Sprintf("%.3g MB", f/float64(MB))
+	case n >= KB:
+		return fmt.Sprintf("%.3g KB", f/float64(KB))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func bw(b float64) string {
+	switch {
+	case b >= float64(TB):
+		return fmt.Sprintf("%.3g TB/s", b/float64(TB))
+	case b >= float64(GB):
+		return fmt.Sprintf("%.3g GB/s", b/float64(GB))
+	case b >= float64(MB):
+		return fmt.Sprintf("%.3g MB/s", b/float64(MB))
+	default:
+		return fmt.Sprintf("%.3g B/s", b)
+	}
+}
+
+func count(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.3g B", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.3g M", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.3g K", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

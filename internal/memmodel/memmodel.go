@@ -1,0 +1,215 @@
+// Package memmodel models per-node memory availability for aggregation
+// buffers: the variance the paper identifies as a first-class exascale
+// phenomenon ("the available memory per node can vary significantly among
+// nodes"), and the accounting of aggregation-buffer reservations against
+// that availability.
+//
+// Section 4 of the paper sets per-process memory buffers as normally
+// distributed random variables whose mean equals the baseline's fixed
+// aggregator buffer size (σ = 50 in their runs). Availability distributions
+// here reproduce that setup with a seeded RNG so experiments are
+// reproducible.
+package memmodel
+
+import (
+	"fmt"
+
+	"mcio/internal/machine"
+	"mcio/internal/stats"
+)
+
+// Distribution produces per-node available-memory samples in bytes.
+type Distribution interface {
+	// Sample returns one availability draw in bytes. Implementations may
+	// return values outside any sensible range; callers clamp.
+	Sample(r *stats.RNG) float64
+	// String describes the distribution for experiment logs.
+	String() string
+}
+
+// Fixed is a degenerate distribution: every node has exactly Bytes
+// available. Used for baseline/no-variance ablations.
+type Fixed struct{ Bytes int64 }
+
+// Sample implements Distribution.
+func (f Fixed) Sample(*stats.RNG) float64 { return float64(f.Bytes) }
+
+func (f Fixed) String() string { return fmt.Sprintf("fixed(%d)", f.Bytes) }
+
+// Normal draws availability from N(Mean, Sigma²), both in bytes. This is
+// the paper's experimental setup (mean = baseline aggregator buffer size).
+type Normal struct{ Mean, Sigma float64 }
+
+// Sample implements Distribution.
+func (n Normal) Sample(r *stats.RNG) float64 { return r.Normal(n.Mean, n.Sigma) }
+
+func (n Normal) String() string { return fmt.Sprintf("normal(μ=%.0f,σ=%.0f)", n.Mean, n.Sigma) }
+
+// Uniform draws availability uniformly from [Lo, Hi) bytes.
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Distribution.
+func (u Uniform) Sample(r *stats.RNG) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform[%.0f,%.0f)", u.Lo, u.Hi) }
+
+// Pareto draws heavy-tailed availability: most nodes near the scale Xm,
+// a few with much more. Models machines where co-located application state
+// leaves wildly uneven headroom.
+type Pareto struct{ Xm, Alpha float64 }
+
+// Sample implements Distribution.
+func (p Pareto) Sample(r *stats.RNG) float64 { return r.Pareto(p.Xm, p.Alpha) }
+
+func (p Pareto) String() string { return fmt.Sprintf("pareto(xm=%.0f,α=%.2f)", p.Xm, p.Alpha) }
+
+// Bimodal models a machine where nodes are either "busy" (application
+// state consuming most memory) or "idle": with probability PBusy a node
+// draws from N(BusyMean, Sigma²), otherwise from N(IdleMean, Sigma²).
+// This is the adversarial regime for oblivious aggregator placement.
+type Bimodal struct {
+	PBusy    float64
+	BusyMean float64
+	IdleMean float64
+	Sigma    float64
+}
+
+// Sample implements Distribution.
+func (b Bimodal) Sample(r *stats.RNG) float64 {
+	mean := b.IdleMean
+	if r.Float64() < b.PBusy {
+		mean = b.BusyMean
+	}
+	return r.Normal(mean, b.Sigma)
+}
+
+func (b Bimodal) String() string {
+	return fmt.Sprintf("bimodal(p=%.2f,busy=%.0f,idle=%.0f,σ=%.0f)", b.PBusy, b.BusyMean, b.IdleMean, b.Sigma)
+}
+
+// ApplyAvailability samples dist once per node of m and sets each node's
+// Avail to the draw clamped to [floor, node capacity]. It returns the
+// resulting availability vector. A floor of 0 is allowed; draws below it
+// clamp up to it.
+func ApplyAvailability(m *machine.Machine, dist Distribution, r *stats.RNG, floor int64) []int64 {
+	out := make([]int64, len(m.Nodes))
+	for i, n := range m.Nodes {
+		v := int64(dist.Sample(r))
+		if v < floor {
+			v = floor
+		}
+		if v > n.Capacity {
+			v = n.Capacity
+		}
+		n.Avail = v
+		out[i] = v
+	}
+	return out
+}
+
+// Tracker accounts aggregation-buffer reservations against node
+// availability. Reservations may exceed availability — real systems page
+// rather than fail — but the tracker records the over-commit so the cost
+// engine can charge the paging penalty.
+type Tracker struct {
+	avail    []int64 // remaining un-reserved memory per node
+	reserved []int64 // total bytes reserved per node
+	overrun  []int64 // bytes reserved beyond initial availability
+}
+
+// NewTracker builds a tracker over the current availability of m's nodes.
+func NewTracker(m *machine.Machine) *Tracker {
+	t := &Tracker{
+		avail:    make([]int64, len(m.Nodes)),
+		reserved: make([]int64, len(m.Nodes)),
+		overrun:  make([]int64, len(m.Nodes)),
+	}
+	for i, n := range m.Nodes {
+		t.avail[i] = n.Avail
+	}
+	return t
+}
+
+// NewTrackerFromAvail builds a tracker directly from an availability
+// vector (bytes per node).
+func NewTrackerFromAvail(avail []int64) *Tracker {
+	t := &Tracker{
+		avail:    append([]int64(nil), avail...),
+		reserved: make([]int64, len(avail)),
+		overrun:  make([]int64, len(avail)),
+	}
+	return t
+}
+
+// Nodes returns the number of nodes tracked.
+func (t *Tracker) Nodes() int { return len(t.avail) }
+
+// Avail returns the remaining un-reserved memory of a node in bytes.
+// Over-committed nodes report 0, never negative.
+func (t *Tracker) Avail(node int) int64 {
+	if t.avail[node] < 0 {
+		return 0
+	}
+	return t.avail[node]
+}
+
+// Reserved returns the total bytes reserved on a node.
+func (t *Tracker) Reserved(node int) int64 { return t.reserved[node] }
+
+// Overrun returns how many reserved bytes exceed the node's initial
+// availability — the amount that would page.
+func (t *Tracker) Overrun(node int) int64 { return t.overrun[node] }
+
+// Reserve books bytes of aggregation buffer on a node. It returns true
+// when the reservation fits entirely in the remaining availability; false
+// means the node is now over-committed (the reservation still happens, as
+// on a real machine, but the caller should expect paged bandwidth).
+func (t *Tracker) Reserve(node int, bytes int64) bool {
+	if bytes < 0 {
+		panic("memmodel: negative reservation")
+	}
+	fits := t.avail[node] >= bytes
+	t.avail[node] -= bytes
+	t.reserved[node] += bytes
+	if t.avail[node] < 0 {
+		over := -t.avail[node]
+		if over > bytes {
+			over = bytes
+		}
+		t.overrun[node] += over
+	}
+	return fits
+}
+
+// Release returns bytes of a previous reservation to the node. Releasing
+// more than is reserved panics: it indicates an accounting bug in the
+// caller.
+func (t *Tracker) Release(node int, bytes int64) {
+	if bytes < 0 {
+		panic("memmodel: negative release")
+	}
+	if bytes > t.reserved[node] {
+		panic(fmt.Sprintf("memmodel: release %d exceeds reserved %d on node %d",
+			bytes, t.reserved[node], node))
+	}
+	t.reserved[node] -= bytes
+	t.avail[node] += bytes
+	if t.avail[node] >= 0 {
+		t.overrun[node] = 0
+	} else {
+		t.overrun[node] = -t.avail[node]
+	}
+}
+
+// ConsumptionSummary summarizes the reserved bytes per node that host at
+// least one reservation. The paper reports aggregator memory-consumption
+// variance; this is the sample it is computed over.
+func (t *Tracker) ConsumptionSummary() stats.Summary {
+	var xs []float64
+	for _, r := range t.reserved {
+		if r > 0 {
+			xs = append(xs, float64(r))
+		}
+	}
+	return stats.Summarize(xs)
+}

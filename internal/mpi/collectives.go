@@ -1,0 +1,130 @@
+package mpi
+
+import "fmt"
+
+// Additional world-level collectives beyond the core set in world.go:
+// scatter, variable-size gathers/exchanges, prefix scan, and tree-based
+// broadcast/reduce for large worlds.
+
+// Internal tags continuing the sequence from world.go.
+const (
+	tagScatter = -100 - iota
+	tagGatherv
+	tagScan
+	tagTreeBcast
+	tagTreeReduce
+)
+
+// Scatter distributes send[i] from root to rank i and returns this rank's
+// piece. Only root's send argument is consulted.
+func (p *Proc) Scatter(root int, send [][]byte) []byte {
+	if p.rank == root {
+		if len(send) != p.Size() {
+			panic(fmt.Sprintf("mpi: Scatter with %d buffers for %d ranks", len(send), p.Size()))
+		}
+		for r := 0; r < p.Size(); r++ {
+			if r != root {
+				p.Send(r, tagScatter, send[r])
+			}
+		}
+		return send[root]
+	}
+	return p.Recv(root, tagScatter)
+}
+
+// Gatherv collects variable-size contributions at root, like Gather but
+// making the variable-size contract explicit (the runtime carries sizes
+// implicitly, as slices).
+func (p *Proc) Gatherv(root int, data []byte) [][]byte {
+	if p.rank == root {
+		out := make([][]byte, p.Size())
+		out[root] = data
+		for r := 0; r < p.Size(); r++ {
+			if r != root {
+				out[r] = p.Recv(r, tagGatherv)
+			}
+		}
+		return out
+	}
+	p.Send(root, tagGatherv, data)
+	return nil
+}
+
+// Alltoallv delivers send[i] to rank i and returns what each rank sent
+// here, with per-pair sizes varying freely — the collective ROMIO's data
+// shuffle phase is built on. It is an alias of Alltoall in this runtime,
+// which already carries variable sizes.
+func (p *Proc) Alltoallv(send [][]byte) [][]byte { return p.Alltoall(send) }
+
+// ScanInt64 computes an inclusive prefix reduction: rank r receives
+// op(x_0, ..., x_r). Op must be associative.
+func (p *Proc) ScanInt64(x int64, op func(a, b int64) int64) int64 {
+	// Linear chain: receive prefix from the left neighbour, combine,
+	// forward to the right neighbour.
+	acc := x
+	if p.rank > 0 {
+		left := getInt64(p.Recv(p.rank-1, tagScan))
+		acc = op(left, x)
+	}
+	if p.rank < p.Size()-1 {
+		buf := make([]byte, 8)
+		putInt64(buf, acc)
+		p.Send(p.rank+1, tagScan, buf)
+	}
+	return acc
+}
+
+// TreeBcast distributes root's data with a binomial tree — O(log P)
+// rounds instead of the linear Bcast, the shape real MPI implementations
+// use at scale. The result is identical to Bcast.
+func (p *Proc) TreeBcast(root int, data []byte) []byte {
+	size := p.Size()
+	// Re-number so the root is virtual rank 0.
+	vrank := (p.rank - root + size) % size
+	if vrank != 0 {
+		src := (vrank - lowestSetBit(vrank) + root) % size
+		data = p.Recv(src, tagTreeBcast)
+	}
+	// Forward to children: vrank + 2^k for increasing k until covered or
+	// the bit overlaps our own lowest set bit.
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&(mask-1) != 0 || vrank&mask != 0 {
+			continue
+		}
+		child := vrank + mask
+		if child < size {
+			p.Send((child+root)%size, tagTreeBcast, data)
+		}
+	}
+	return data
+}
+
+// TreeReduceInt64 combines one int64 per rank at root with a binomial
+// tree; non-roots return 0. Op must be associative and commutative.
+func (p *Proc) TreeReduceInt64(root int, x int64, op func(a, b int64) int64) int64 {
+	size := p.Size()
+	vrank := (p.rank - root + size) % size
+	acc := x
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&mask != 0 {
+			// Send to the parent and stop participating (the root has
+			// virtual rank 0 and never takes this branch).
+			buf := make([]byte, 8)
+			putInt64(buf, acc)
+			parent := (vrank - mask + root) % size
+			p.Send(parent, tagTreeReduce, buf)
+			return 0
+		}
+		child := vrank + mask
+		if child < size {
+			acc = op(acc, getInt64(p.Recv((child+root)%size, tagTreeReduce)))
+		}
+	}
+	if p.rank == root {
+		return acc
+	}
+	return 0
+}
+
+// lowestSetBit returns the value of x's lowest set bit; x must be > 0.
+func lowestSetBit(x int) int { return x & (-x) }

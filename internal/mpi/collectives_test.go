@@ -1,0 +1,289 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestScatter(t *testing.T) {
+	w := world(t, 5, 5)
+	err := w.Run(func(p *Proc) {
+		var send [][]byte
+		if p.Rank() == 2 {
+			send = make([][]byte, 5)
+			for i := range send {
+				send[i] = []byte{byte(i * 3)}
+			}
+		}
+		got := p.Scatter(2, send)
+		if got[0] != byte(p.Rank()*3) {
+			panic(fmt.Sprintf("rank %d got %d", p.Rank(), got[0]))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterSizeMismatch(t *testing.T) {
+	w := world(t, 2, 2)
+	err := w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Scatter(0, make([][]byte, 1))
+		}
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGathervVariableSizes(t *testing.T) {
+	w := world(t, 4, 2)
+	err := w.Run(func(p *Proc) {
+		data := bytes.Repeat([]byte{byte(p.Rank())}, p.Rank()+1)
+		res := p.Gatherv(0, data)
+		if p.Rank() != 0 {
+			return
+		}
+		for r := 0; r < 4; r++ {
+			if len(res[r]) != r+1 {
+				panic(fmt.Sprintf("slot %d size %d", r, len(res[r])))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvAlias(t *testing.T) {
+	w := world(t, 3, 3)
+	err := w.Run(func(p *Proc) {
+		send := make([][]byte, 3)
+		for dst := range send {
+			send[dst] = bytes.Repeat([]byte{byte(p.Rank())}, dst+1)
+		}
+		got := p.Alltoallv(send)
+		for src := range got {
+			if len(got[src]) != p.Rank()+1 || got[src][0] != byte(src) {
+				panic("alltoallv payload")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanInt64(t *testing.T) {
+	w := world(t, 6, 3)
+	sum := func(a, b int64) int64 { return a + b }
+	err := w.Run(func(p *Proc) {
+		got := p.ScanInt64(int64(p.Rank()+1), sum)
+		want := int64((p.Rank() + 1) * (p.Rank() + 2) / 2)
+		if got != want {
+			panic(fmt.Sprintf("rank %d scan = %d, want %d", p.Rank(), got, want))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeBcastMatchesLinear(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8, 13, 16} {
+		for root := 0; root < size; root += 3 {
+			w := world(t, size, 4)
+			payload := []byte("tree-payload")
+			err := w.Run(func(p *Proc) {
+				var data []byte
+				if p.Rank() == root {
+					data = payload
+				}
+				got := p.TreeBcast(root, data)
+				if !bytes.Equal(got, payload) {
+					panic(fmt.Sprintf("size %d root %d rank %d got %q", size, root, p.Rank(), got))
+				}
+			})
+			if err != nil {
+				t.Fatalf("size %d root %d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestTreeReduceInt64(t *testing.T) {
+	sum := func(a, b int64) int64 { return a + b }
+	for _, size := range []int{1, 2, 3, 7, 8, 12} {
+		for root := 0; root < size; root += 2 {
+			w := world(t, size, 4)
+			err := w.Run(func(p *Proc) {
+				got := p.TreeReduceInt64(root, int64(p.Rank()+1), sum)
+				want := int64(size * (size + 1) / 2)
+				if p.Rank() == root && got != want {
+					panic(fmt.Sprintf("size %d root %d: reduce = %d, want %d", size, root, got, want))
+				}
+				if p.Rank() != root && got != 0 {
+					panic("non-root got a reduce result")
+				}
+			})
+			if err != nil {
+				t.Fatalf("size %d root %d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestSplitByNode(t *testing.T) {
+	w := world(t, 12, 4) // 3 nodes
+	err := w.Run(func(p *Proc) {
+		c := p.Split(p.Node(), p.Rank(), 0)
+		if c == nil {
+			panic("nil comm for non-negative color")
+		}
+		if c.Size() != 4 {
+			panic(fmt.Sprintf("comm size %d", c.Size()))
+		}
+		if c.WorldRank(c.Rank()) != p.Rank() {
+			panic("rank translation broken")
+		}
+		// Members are the node's ranks in order.
+		if c.Rank() != p.Rank()%4 {
+			panic(fmt.Sprintf("rank %d has comm rank %d", p.Rank(), c.Rank()))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	w := world(t, 4, 2)
+	err := w.Run(func(p *Proc) {
+		color := 0
+		if p.Rank() == 3 {
+			color = -1
+		}
+		c := p.Split(color, 0, 0)
+		if p.Rank() == 3 {
+			if c != nil {
+				panic("undefined color must return nil")
+			}
+			return
+		}
+		if c.Size() != 3 {
+			panic(fmt.Sprintf("comm size %d", c.Size()))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	w := world(t, 4, 4)
+	err := w.Run(func(p *Proc) {
+		// Reverse ordering by key.
+		c := p.Split(0, -p.Rank(), 0)
+		if c.WorldRank(0) != 3 || c.WorldRank(3) != 0 {
+			panic("key ordering not respected")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommCollectives(t *testing.T) {
+	w := world(t, 12, 4)
+	sum := func(a, b int64) int64 { return a + b }
+	err := w.Run(func(p *Proc) {
+		c := p.Split(p.Node(), p.Rank(), 0)
+		// Bcast within the node group.
+		var data []byte
+		if c.Rank() == 0 {
+			data = []byte{byte(p.Node() + 100)}
+		}
+		got := c.Bcast(0, data)
+		if got[0] != byte(p.Node()+100) {
+			panic("comm bcast leaked across groups")
+		}
+		// Allgather within the group.
+		all := c.Allgather([]byte{byte(p.Rank())})
+		for i := range all {
+			if all[i][0] != byte(p.Node()*4+i) {
+				panic("comm allgather wrong membership")
+			}
+		}
+		// Allreduce within the group: sum of the node's world ranks.
+		base := p.Node() * 4
+		want := int64(base + base + 1 + base + 2 + base + 3)
+		if got := c.AllreduceInt64(int64(p.Rank()), sum); got != want {
+			panic(fmt.Sprintf("comm allreduce = %d, want %d", got, want))
+		}
+		c.Barrier()
+		// Gather at group root.
+		res := c.Gather(0, []byte{byte(p.Rank())})
+		if c.Rank() == 0 {
+			for i := range res {
+				if res[i][0] != byte(base+i) {
+					panic("comm gather wrong")
+				}
+			}
+		} else if res != nil {
+			panic("non-root comm gather result")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommSendRecv(t *testing.T) {
+	w := world(t, 6, 3)
+	err := w.Run(func(p *Proc) {
+		c := p.Split(p.Node(), p.Rank(), 1)
+		if c.Rank() == 0 {
+			c.Send(1, 5, []byte{byte(p.Node())})
+		}
+		if c.Rank() == 1 {
+			if got := c.Recv(0, 5); got[0] != byte(p.Node()) {
+				panic("comm p2p crossed groups")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommTagValidation(t *testing.T) {
+	w := world(t, 2, 2)
+	err := w.Run(func(p *Proc) {
+		c := p.Split(0, 0, 2)
+		if c.Rank() == 0 {
+			c.Send(1, -1, nil) // negative user tag must panic
+		}
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestConcurrentSplitsDoNotInterfere(t *testing.T) {
+	w := world(t, 8, 4)
+	err := w.Run(func(p *Proc) {
+		byNode := p.Split(p.Node(), p.Rank(), 0)
+		parity := p.Split(p.Rank()%2, p.Rank(), 1)
+		// Interleave collectives on both communicators.
+		a := byNode.AllreduceInt64(1, func(x, y int64) int64 { return x + y })
+		b := parity.AllreduceInt64(1, func(x, y int64) int64 { return x + y })
+		if a != 4 || b != 4 {
+			panic(fmt.Sprintf("interfering comms: %d %d", a, b))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

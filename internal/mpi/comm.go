@@ -1,0 +1,198 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a sub-communicator: an ordered subset of the world's ranks with
+// its own rank numbering, as produced by MPI_Comm_split. The
+// memory-conscious strategy's aggregation groups (§3.1) correspond
+// exactly to such subsets — group-confined traffic is traffic on a Comm.
+//
+// A Comm is valid only for the Proc that created it. Internal collective
+// tags are namespaced per split so concurrent communicators do not
+// interfere.
+type Comm struct {
+	p       *Proc
+	members []int // world ranks, ordered by (key, world rank)
+	myIdx   int   // this proc's rank within the comm
+	tagBase int   // distinct negative tag namespace
+}
+
+// splitSeqTag reserves the tag space below the built-in collective tags
+// for communicator-scoped collectives.
+const splitTagStride = 16
+
+// Split partitions the world by color, as MPI_Comm_split does: every rank
+// calls Split collectively with its color and key; ranks sharing a color
+// form one communicator, ordered by (key, world rank). A negative color
+// returns nil for that rank (MPI_UNDEFINED), but the call is still
+// collective. seq distinguishes concurrent split "generations": calls
+// that should form one collective must use the same seq, and successive
+// splits in one program must use increasing seq values.
+func (p *Proc) Split(color, key, seq int) *Comm {
+	if seq < 0 {
+		panic("mpi: negative split sequence")
+	}
+	// Exchange (color, key) pairs.
+	payload := make([]byte, 16)
+	putInt64(payload[:8], int64(color))
+	putInt64(payload[8:], int64(key))
+	all := p.Allgather(payload)
+	if color < 0 {
+		return nil
+	}
+	type member struct{ rank, key int }
+	var ms []member
+	for r, b := range all {
+		c := int(getInt64(b[:8]))
+		k := int(getInt64(b[8:]))
+		if c == color {
+			ms = append(ms, member{rank: r, key: k})
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].key != ms[j].key {
+			return ms[i].key < ms[j].key
+		}
+		return ms[i].rank < ms[j].rank
+	})
+	comm := &Comm{
+		p:       p,
+		members: make([]int, len(ms)),
+		myIdx:   -1,
+		// Namespace: below the world collectives' tags, one stride per
+		// (seq, color) pair. Colors are assumed small non-negative ints.
+		tagBase: -1000 - (seq*4096+color)*splitTagStride,
+	}
+	for i, m := range ms {
+		comm.members[i] = m.rank
+		if m.rank == p.rank {
+			comm.myIdx = i
+		}
+	}
+	if comm.myIdx < 0 {
+		panic("mpi: split bookkeeping failure")
+	}
+	return comm
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.myIdx }
+
+// Size returns the communicator's size.
+func (c *Comm) Size() int { return len(c.members) }
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(rank int) int {
+	if rank < 0 || rank >= len(c.members) {
+		panic(fmt.Sprintf("mpi: comm rank %d out of range [0,%d)", rank, len(c.members)))
+	}
+	return c.members[rank]
+}
+
+// Send delivers data to the communicator rank dst under a
+// communicator-scoped tag. User tags must be non-negative.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if tag < 0 {
+		panic("mpi: negative user tag on comm")
+	}
+	c.p.Send(c.WorldRank(dst), c.tagBase-splitTagStride-tag, data)
+}
+
+// Recv receives from the communicator rank src with the given tag.
+func (c *Comm) Recv(src, tag int) []byte {
+	if tag < 0 {
+		panic("mpi: negative user tag on comm")
+	}
+	return c.p.Recv(c.WorldRank(src), c.tagBase-splitTagStride-tag)
+}
+
+// ctag returns the communicator-internal tag for collective slot i.
+func (c *Comm) ctag(i int) int { return c.tagBase - i }
+
+// Barrier blocks until every member has entered it.
+func (c *Comm) Barrier() {
+	if c.myIdx == 0 {
+		for r := 1; r < c.Size(); r++ {
+			c.p.Recv(c.members[r], c.ctag(0))
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.p.Send(c.members[r], c.ctag(0), nil)
+		}
+		return
+	}
+	c.p.Send(c.members[0], c.ctag(0), nil)
+	c.p.Recv(c.members[0], c.ctag(0))
+}
+
+// Bcast distributes root's data (a communicator rank) to every member.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	if c.myIdx == root {
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.p.Send(c.members[r], c.ctag(1), data)
+			}
+		}
+		return data
+	}
+	return c.p.Recv(c.members[root], c.ctag(1))
+}
+
+// Gather collects every member's data at the communicator rank root, in
+// communicator rank order; non-roots get nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	if c.myIdx == root {
+		out := make([][]byte, c.Size())
+		out[root] = data
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				out[r] = c.p.Recv(c.members[r], c.ctag(2))
+			}
+		}
+		return out
+	}
+	c.p.Send(c.members[root], c.ctag(2), data)
+	return nil
+}
+
+// Allgather collects every member's data everywhere, in communicator rank
+// order.
+func (c *Comm) Allgather(data []byte) [][]byte {
+	gathered := c.Gather(0, data)
+	if c.myIdx == 0 {
+		for r := 1; r < c.Size(); r++ {
+			for i := 0; i < c.Size(); i++ {
+				c.p.Send(c.members[r], c.ctag(3), gathered[i])
+			}
+		}
+		return gathered
+	}
+	out := make([][]byte, c.Size())
+	for i := 0; i < c.Size(); i++ {
+		out[i] = c.p.Recv(c.members[0], c.ctag(3))
+	}
+	return out
+}
+
+// AllreduceInt64 combines one int64 per member with op and returns the
+// result everywhere. Op must be associative and commutative.
+func (c *Comm) AllreduceInt64(x int64, op func(a, b int64) int64) int64 {
+	buf := make([]byte, 8)
+	putInt64(buf, x)
+	if c.myIdx == 0 {
+		acc := x
+		for r := 1; r < c.Size(); r++ {
+			acc = op(acc, getInt64(c.p.Recv(c.members[r], c.ctag(4))))
+		}
+		out := make([]byte, 8)
+		putInt64(out, acc)
+		for r := 1; r < c.Size(); r++ {
+			c.p.Send(c.members[r], c.ctag(4), out)
+		}
+		return acc
+	}
+	c.p.Send(c.members[0], c.ctag(4), buf)
+	return getInt64(c.p.Recv(c.members[0], c.ctag(4)))
+}

@@ -1,0 +1,322 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBlockTopology(t *testing.T) {
+	topo, err := BlockTopology(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Size() != 10 || topo.Nodes() != 3 {
+		t.Fatalf("size/nodes = %d/%d", topo.Size(), topo.Nodes())
+	}
+	wantNodes := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	for r, want := range wantNodes {
+		if topo.NodeOf(r) != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", r, topo.NodeOf(r), want)
+		}
+	}
+	if got := topo.RanksOnNode(1); !reflect.DeepEqual(got, []int{4, 5, 6, 7}) {
+		t.Fatalf("RanksOnNode(1) = %v", got)
+	}
+	if got := topo.RanksOnNode(2); !reflect.DeepEqual(got, []int{8, 9}) {
+		t.Fatalf("RanksOnNode(2) = %v", got)
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	if _, err := BlockTopology(0, 1); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := BlockTopology(4, 0); err == nil {
+		t.Error("ranksPerNode 0 accepted")
+	}
+	if _, err := ExplicitTopology(nil); err == nil {
+		t.Error("empty explicit topology accepted")
+	}
+	if _, err := ExplicitTopology([]int{0, -1}); err == nil {
+		t.Error("negative node accepted")
+	}
+}
+
+func TestExplicitTopology(t *testing.T) {
+	topo, err := ExplicitTopology([]int{2, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Nodes() != 3 || topo.NodeOf(0) != 2 || topo.NodeOf(1) != 0 {
+		t.Fatalf("bad explicit topology: %+v", topo)
+	}
+}
+
+func world(t *testing.T, size, perNode int) *World {
+	t.Helper()
+	topo, err := BlockTopology(size, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWorld(topo)
+}
+
+func TestSendRecv(t *testing.T) {
+	w := world(t, 2, 2)
+	err := w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 7, []byte("hello"))
+		} else {
+			if got := p.Recv(0, 7); string(got) != "hello" {
+				panic(fmt.Sprintf("got %q", got))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvMatchesTagAndSource(t *testing.T) {
+	w := world(t, 3, 3)
+	err := w.Run(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(2, 5, []byte("from0tag5"))
+			p.Send(2, 6, []byte("from0tag6"))
+		case 1:
+			p.Send(2, 5, []byte("from1tag5"))
+		case 2:
+			// Receive out of arrival order: tag 6 first, then the others.
+			if got := p.Recv(0, 6); string(got) != "from0tag6" {
+				panic(string(got))
+			}
+			if got := p.Recv(1, 5); string(got) != "from1tag5" {
+				panic(string(got))
+			}
+			if got := p.Recv(0, 5); string(got) != "from0tag5" {
+				panic(string(got))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerSourceAndTag(t *testing.T) {
+	w := world(t, 2, 2)
+	err := w.Run(func(p *Proc) {
+		const n = 50
+		if p.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				p.Send(1, 3, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if got := p.Recv(0, 3); got[0] != byte(i) {
+					panic(fmt.Sprintf("message %d out of order: %d", i, got[0]))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	w := world(t, 2, 2)
+	err := w.Run(func(p *Proc) {
+		if p.Rank() == 1 {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking rank")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	w := world(t, 8, 4)
+	var entered int32
+	err := w.Run(func(p *Proc) {
+		atomic.AddInt32(&entered, 1)
+		p.Barrier()
+		if n := atomic.LoadInt32(&entered); n != 8 {
+			panic(fmt.Sprintf("rank %d passed barrier with only %d entered", p.Rank(), n))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w := world(t, 5, 5)
+	err := w.Run(func(p *Proc) {
+		var data []byte
+		if p.Rank() == 2 {
+			data = []byte("payload")
+		}
+		got := p.Bcast(2, data)
+		if string(got) != "payload" {
+			panic(fmt.Sprintf("rank %d got %q", p.Rank(), got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	w := world(t, 4, 4)
+	err := w.Run(func(p *Proc) {
+		res := p.Gather(1, []byte{byte(p.Rank() * 10)})
+		if p.Rank() != 1 {
+			if res != nil {
+				panic("non-root got a gather result")
+			}
+			return
+		}
+		for r := 0; r < 4; r++ {
+			if res[r][0] != byte(r*10) {
+				panic(fmt.Sprintf("slot %d = %d", r, res[r][0]))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	w := world(t, 6, 3)
+	err := w.Run(func(p *Proc) {
+		res := p.Allgather([]byte{byte(p.Rank())})
+		if len(res) != 6 {
+			panic("wrong size")
+		}
+		for r := 0; r < 6; r++ {
+			if res[r][0] != byte(r) {
+				panic(fmt.Sprintf("rank %d slot %d = %d", p.Rank(), r, res[r][0]))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	w := world(t, 4, 2)
+	err := w.Run(func(p *Proc) {
+		send := make([][]byte, 4)
+		for dst := range send {
+			send[dst] = []byte{byte(p.Rank()), byte(dst)}
+		}
+		got := p.Alltoall(send)
+		for src := range got {
+			want := []byte{byte(src), byte(p.Rank())}
+			if !bytes.Equal(got[src], want) {
+				panic(fmt.Sprintf("rank %d from %d: %v want %v", p.Rank(), src, got[src], want))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallSizeMismatchPanics(t *testing.T) {
+	w := world(t, 2, 2)
+	err := w.Run(func(p *Proc) {
+		p.Alltoall(make([][]byte, 1))
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}
+
+func TestAllreduceInt64(t *testing.T) {
+	w := world(t, 7, 7)
+	sum := func(a, b int64) int64 { return a + b }
+	max := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	err := w.Run(func(p *Proc) {
+		if got := p.AllreduceInt64(int64(p.Rank()+1), sum); got != 28 {
+			panic(fmt.Sprintf("sum = %d", got))
+		}
+		if got := p.AllreduceInt64(int64(p.Rank()), max); got != 6 {
+			panic(fmt.Sprintf("max = %d", got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendInvalidRankPanics(t *testing.T) {
+	w := world(t, 2, 2)
+	err := w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(5, 0, nil)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	w := world(t, 6, 2)
+	err := w.Run(func(p *Proc) {
+		if p.Size() != 6 {
+			panic("size")
+		}
+		if p.Node() != p.Rank()/2 {
+			panic("node")
+		}
+		if p.Topology().Nodes() != 3 {
+			panic("topology")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64Codec(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40), 9223372036854775807, -9223372036854775808} {
+		b := make([]byte, 8)
+		putInt64(b, v)
+		if got := getInt64(b); got != v {
+			t.Errorf("roundtrip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	// 120 ranks on 10 nodes — the paper's small configuration — doing a
+	// full allgather+barrier cycle.
+	w := world(t, 120, 12)
+	err := w.Run(func(p *Proc) {
+		res := p.Allgather([]byte{byte(p.Rank() % 251)})
+		for r := range res {
+			if res[r][0] != byte(r%251) {
+				panic("allgather corrupted")
+			}
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

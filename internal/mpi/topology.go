@@ -1,0 +1,77 @@
+// Package mpi implements the message-passing runtime the collective I/O
+// stack runs on: ranks execute as goroutines inside one process, exchange
+// real byte slices through buffered mailboxes, and are placed onto the
+// simulated machine's nodes by a Topology.
+//
+// Only the semantics MPI-IO needs are implemented — point-to-point send
+// and receive with tags, the collectives ROMIO's two-phase code path uses
+// (barrier, broadcast, gather, allgather, alltoallv, reduce), and
+// rank-to-node placement. Message matching is FIFO per (source, tag) pair,
+// as in MPI. Delivery is deterministic: collectives iterate peers in rank
+// order and point-to-point receives name their source, so a program that
+// is deterministic over ranks produces identical results on every run.
+package mpi
+
+import "fmt"
+
+// Topology places ranks onto machine nodes.
+type Topology struct {
+	nodeOf []int
+	nodes  int
+}
+
+// BlockTopology places size ranks onto consecutive nodes, ranksPerNode at
+// a time: ranks 0..k-1 on node 0, k..2k-1 on node 1, and so on. This is
+// the default MPI process-manager placement the paper assumes (e.g. 120
+// ranks on 10 nodes of 12 cores).
+func BlockTopology(size, ranksPerNode int) (Topology, error) {
+	if size <= 0 {
+		return Topology{}, fmt.Errorf("mpi: topology size %d must be positive", size)
+	}
+	if ranksPerNode <= 0 {
+		return Topology{}, fmt.Errorf("mpi: ranksPerNode %d must be positive", ranksPerNode)
+	}
+	t := Topology{nodeOf: make([]int, size)}
+	for r := 0; r < size; r++ {
+		t.nodeOf[r] = r / ranksPerNode
+	}
+	t.nodes = (size + ranksPerNode - 1) / ranksPerNode
+	return t, nil
+}
+
+// ExplicitTopology builds a topology from an explicit rank→node map.
+func ExplicitTopology(nodeOf []int) (Topology, error) {
+	if len(nodeOf) == 0 {
+		return Topology{}, fmt.Errorf("mpi: empty topology")
+	}
+	max := -1
+	for r, n := range nodeOf {
+		if n < 0 {
+			return Topology{}, fmt.Errorf("mpi: rank %d on negative node %d", r, n)
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return Topology{nodeOf: append([]int(nil), nodeOf...), nodes: max + 1}, nil
+}
+
+// Size returns the number of ranks.
+func (t Topology) Size() int { return len(t.nodeOf) }
+
+// Nodes returns the number of nodes spanned (highest node index + 1).
+func (t Topology) Nodes() int { return t.nodes }
+
+// NodeOf returns the node hosting the given rank.
+func (t Topology) NodeOf(rank int) int { return t.nodeOf[rank] }
+
+// RanksOnNode returns the ranks placed on a node, in ascending order.
+func (t Topology) RanksOnNode(node int) []int {
+	var out []int
+	for r, n := range t.nodeOf {
+		if n == node {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one in-flight point-to-point transfer.
+type message struct {
+	src  int
+	tag  int
+	data []byte
+}
+
+// World is a set of ranks that can communicate. Create one with NewWorld,
+// then execute a rank program with Run.
+type World struct {
+	topo    Topology
+	inboxes []chan message
+}
+
+// defaultMailboxFactor sizes each rank's mailbox: enough buffering that
+// every peer can have several sends outstanding, which keeps naive
+// exchange patterns (everyone sends, then everyone receives) deadlock-free
+// at the scales this simulator runs.
+const defaultMailboxFactor = 8
+
+// NewWorld creates a world whose ranks are placed by topo.
+func NewWorld(topo Topology) *World {
+	w := &World{topo: topo, inboxes: make([]chan message, topo.Size())}
+	capacity := topo.Size()*defaultMailboxFactor + 16
+	for i := range w.inboxes {
+		w.inboxes[i] = make(chan message, capacity)
+	}
+	return w
+}
+
+// Proc is one rank's handle onto the world. A Proc is confined to the
+// goroutine Run started for it.
+type Proc struct {
+	world   *World
+	rank    int
+	pending []message // received but not yet matched
+}
+
+// Rank returns this process's rank in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks in the world.
+func (p *Proc) Size() int { return p.world.topo.Size() }
+
+// Node returns the machine node hosting this rank.
+func (p *Proc) Node() int { return p.world.topo.NodeOf(p.rank) }
+
+// Topology returns the world's rank placement.
+func (p *Proc) Topology() Topology { return p.world.topo }
+
+// Run executes body once per rank, each in its own goroutine, and waits
+// for all of them. A panic in any rank is recovered and returned as an
+// error naming the rank; remaining ranks may block forever once a peer
+// dies, so Run only reports the first failure and abandons the world.
+func (w *World) Run(body func(p *Proc)) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, w.topo.Size())
+	for r := 0; r < w.topo.Size(); r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs <- fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			body(&Proc{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Send delivers data to rank dst with the given tag. The slice is handed
+// off by reference; senders must not mutate it afterwards (collective code
+// in this repository always sends freshly built or read-only buffers).
+// Send blocks only when dst's mailbox is full.
+func (p *Proc) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= p.Size() {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	p.world.inboxes[dst] <- message{src: p.rank, tag: tag, data: data}
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Matching is FIFO per (src, tag).
+func (p *Proc) Recv(src, tag int) []byte {
+	if src < 0 || src >= p.Size() {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
+	}
+	for i, m := range p.pending {
+		if m.src == src && m.tag == tag {
+			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			return m.data
+		}
+	}
+	for m := range p.world.inboxes[p.rank] {
+		if m.src == src && m.tag == tag {
+			return m.data
+		}
+		p.pending = append(p.pending, m)
+	}
+	panic("mpi: world shut down during Recv")
+}
+
+// Internal tags for collectives; user code must use tags >= 0.
+const (
+	tagBarrier = -1 - iota
+	tagBcast
+	tagGather
+	tagReduce
+	tagAlltoall
+)
+
+// Barrier blocks until every rank has entered it.
+func (p *Proc) Barrier() {
+	// Linear: everyone checks in with rank 0, rank 0 releases everyone.
+	if p.rank == 0 {
+		for r := 1; r < p.Size(); r++ {
+			p.Recv(r, tagBarrier)
+		}
+		for r := 1; r < p.Size(); r++ {
+			p.Send(r, tagBarrier, nil)
+		}
+		return
+	}
+	p.Send(0, tagBarrier, nil)
+	p.Recv(0, tagBarrier)
+}
+
+// Bcast distributes root's data to every rank and returns it. Non-root
+// callers may pass nil.
+func (p *Proc) Bcast(root int, data []byte) []byte {
+	if p.rank == root {
+		for r := 0; r < p.Size(); r++ {
+			if r != root {
+				p.Send(r, tagBcast, data)
+			}
+		}
+		return data
+	}
+	return p.Recv(root, tagBcast)
+}
+
+// Gather collects each rank's data at root. On root the result holds one
+// entry per rank (root's own contribution included, by rank order); other
+// ranks get nil.
+func (p *Proc) Gather(root int, data []byte) [][]byte {
+	if p.rank == root {
+		out := make([][]byte, p.Size())
+		out[root] = data
+		for r := 0; r < p.Size(); r++ {
+			if r != root {
+				out[r] = p.Recv(r, tagGather)
+			}
+		}
+		return out
+	}
+	p.Send(root, tagGather, data)
+	return nil
+}
+
+// Allgather collects each rank's data everywhere: the result always holds
+// one entry per rank, in rank order.
+func (p *Proc) Allgather(data []byte) [][]byte {
+	gathered := p.Gather(0, data)
+	if p.rank == 0 {
+		for r := 1; r < p.Size(); r++ {
+			for i := 0; i < p.Size(); i++ {
+				p.Send(r, tagBcast, gathered[i])
+			}
+		}
+		return gathered
+	}
+	out := make([][]byte, p.Size())
+	for i := 0; i < p.Size(); i++ {
+		out[i] = p.Recv(0, tagBcast)
+	}
+	return out
+}
+
+// Alltoall delivers send[i] to rank i and returns what every rank sent to
+// this one, in rank order. Entries may be nil/empty.
+func (p *Proc) Alltoall(send [][]byte) [][]byte {
+	if len(send) != p.Size() {
+		panic(fmt.Sprintf("mpi: Alltoall with %d buffers for %d ranks", len(send), p.Size()))
+	}
+	for r := 0; r < p.Size(); r++ {
+		p.Send(r, tagAlltoall, send[r])
+	}
+	out := make([][]byte, p.Size())
+	for r := 0; r < p.Size(); r++ {
+		out[r] = p.Recv(r, tagAlltoall)
+	}
+	return out
+}
+
+// AllreduceInt64 combines one int64 per rank with op and returns the
+// result everywhere. Op must be associative and commutative.
+func (p *Proc) AllreduceInt64(x int64, op func(a, b int64) int64) int64 {
+	buf := make([]byte, 8)
+	putInt64(buf, x)
+	if p.rank == 0 {
+		acc := x
+		for r := 1; r < p.Size(); r++ {
+			acc = op(acc, getInt64(p.Recv(r, tagReduce)))
+		}
+		out := make([]byte, 8)
+		putInt64(out, acc)
+		for r := 1; r < p.Size(); r++ {
+			p.Send(r, tagReduce, out)
+		}
+		return acc
+	}
+	p.Send(0, tagReduce, buf)
+	return getInt64(p.Recv(0, tagReduce))
+}
+
+func putInt64(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getInt64(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,208 @@
+package pfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Extent is a contiguous range of file space.
+type Extent struct {
+	Offset int64
+	Length int64
+}
+
+// End returns the first offset past the extent.
+func (e Extent) End() int64 { return e.Offset + e.Length }
+
+// Overlaps reports whether two extents share any byte.
+func (e Extent) Overlaps(o Extent) bool {
+	return e.Offset < o.End() && o.Offset < e.End()
+}
+
+// NormalizeExtents sorts extents by offset and merges adjacent or
+// overlapping ones, dropping empty extents. The result is the canonical
+// minimal representation of the same byte set. It does not modify its
+// argument.
+func NormalizeExtents(exts []Extent) []Extent {
+	var out []Extent
+	for _, e := range exts {
+		if e.Length < 0 {
+			panic(fmt.Sprintf("pfs: negative extent length %d", e.Length))
+		}
+		if e.Length > 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	merged := out[:0]
+	for _, e := range out {
+		if n := len(merged); n > 0 && e.Offset <= merged[n-1].End() {
+			if e.End() > merged[n-1].End() {
+				merged[n-1].Length = e.End() - merged[n-1].Offset
+			}
+			continue
+		}
+		merged = append(merged, e)
+	}
+	return merged
+}
+
+// TotalBytes sums the lengths of the extents (assumed non-overlapping).
+func TotalBytes(exts []Extent) int64 {
+	var n int64
+	for _, e := range exts {
+		n += e.Length
+	}
+	return n
+}
+
+// SliceData returns the file extents covering the data-space byte range
+// [dataOff, dataOff+n) of exts, where data space is the concatenation of
+// the normalized extents in file order. This is how an aggregator cycles a
+// file domain through a fixed-size collective buffer: round k covers data
+// bytes [k*buf, (k+1)*buf).
+func SliceData(exts []Extent, dataOff, n int64) []Extent {
+	if dataOff < 0 || n < 0 {
+		panic(fmt.Sprintf("pfs: negative data slice (%d,%d)", dataOff, n))
+	}
+	if n == 0 {
+		return nil
+	}
+	var out []Extent
+	var pos int64
+	for _, e := range NormalizeExtents(exts) {
+		if n <= 0 {
+			break
+		}
+		if dataOff >= pos+e.Length {
+			pos += e.Length
+			continue
+		}
+		skip := dataOff - pos
+		if skip < 0 {
+			skip = 0
+		}
+		take := e.Length - skip
+		if take > n {
+			take = n
+		}
+		out = append(out, Extent{Offset: e.Offset + skip, Length: take})
+		dataOff += take
+		n -= take
+		pos += e.Length
+	}
+	return out
+}
+
+// Intersect returns the bytes present in both extent sets, normalized.
+// Inputs need not be normalized.
+func Intersect(a, b []Extent) []Extent {
+	na, nb := NormalizeExtents(a), NormalizeExtents(b)
+	var out []Extent
+	i, j := 0, 0
+	for i < len(na) && j < len(nb) {
+		lo := na[i].Offset
+		if nb[j].Offset > lo {
+			lo = nb[j].Offset
+		}
+		hi := na[i].End()
+		if nb[j].End() < hi {
+			hi = nb[j].End()
+		}
+		if hi > lo {
+			out = append(out, Extent{Offset: lo, Length: hi - lo})
+		}
+		if na[i].End() < nb[j].End() {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Clip returns the part of the extents inside the window [lo, hi).
+func Clip(exts []Extent, lo, hi int64) []Extent {
+	if hi <= lo {
+		return nil
+	}
+	return Intersect(exts, []Extent{{Offset: lo, Length: hi - lo}})
+}
+
+// Span returns the smallest extent covering all input extents, or the zero
+// Extent when the input holds no bytes.
+func Span(exts []Extent) Extent {
+	norm := NormalizeExtents(exts)
+	if len(norm) == 0 {
+		return Extent{}
+	}
+	first, last := norm[0], norm[len(norm)-1]
+	return Extent{Offset: first.Offset, Length: last.End() - first.Offset}
+}
+
+// TargetAccess summarizes the object-space traffic one set of file extents
+// generates on a single target: the payload bytes, how many distinct
+// object-space ranges (requests) it decomposes into after merging, and
+// whether the access is one contiguous object range.
+type TargetAccess struct {
+	Target     int
+	Bytes      int64
+	Requests   int
+	Contiguous bool
+}
+
+// MapExtents decomposes file-space extents into per-target accesses.
+//
+// With round-robin striping, one contiguous file extent larger than a full
+// stripe cycle lands as one contiguous object-space range on every target —
+// this is why two-phase I/O's large merged requests are cheap. Fragmented
+// extents land as many small object ranges, each a separate request. The
+// returned slice is sorted by target; targets untouched by the extents are
+// absent.
+func (c Config) MapExtents(exts []Extent) []TargetAccess {
+	type objRange struct{ off, end int64 }
+	perTarget := make(map[int][]objRange)
+	su := c.StripeUnit
+	for _, e := range NormalizeExtents(exts) {
+		off, remaining := e.Offset, e.Length
+		for remaining > 0 {
+			target, objOff := c.stripeLoc(off)
+			n := su - off%su
+			if n > remaining {
+				n = remaining
+			}
+			perTarget[target] = append(perTarget[target], objRange{objOff, objOff + n})
+			off += n
+			remaining -= n
+		}
+	}
+	targets := make([]int, 0, len(perTarget))
+	for t := range perTarget {
+		targets = append(targets, t)
+	}
+	sort.Ints(targets)
+	out := make([]TargetAccess, 0, len(targets))
+	for _, t := range targets {
+		ranges := perTarget[t]
+		sort.Slice(ranges, func(i, j int) bool { return ranges[i].off < ranges[j].off })
+		var merged []objRange
+		var bytes int64
+		for _, r := range ranges {
+			bytes += r.end - r.off
+			if n := len(merged); n > 0 && r.off <= merged[n-1].end {
+				if r.end > merged[n-1].end {
+					merged[n-1].end = r.end
+				}
+				continue
+			}
+			merged = append(merged, r)
+		}
+		out = append(out, TargetAccess{
+			Target:     t,
+			Bytes:      bytes,
+			Requests:   len(merged),
+			Contiguous: len(merged) == 1,
+		})
+	}
+	return out
+}

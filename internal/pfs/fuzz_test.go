@@ -1,0 +1,157 @@
+package pfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFileVsFlatArray cross-checks the striped file against a flat byte
+// array for arbitrary write/read sequences encoded in the fuzz input.
+func FuzzFileVsFlatArray(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, uint8(3), uint8(7))
+	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Add([]byte{0xff, 0x00, 0x7f, 0x80}, uint8(8), uint8(64))
+	f.Fuzz(func(t *testing.T, script []byte, targetsRaw, stripeRaw uint8) {
+		targets := int(targetsRaw%8) + 1
+		stripe := int64(stripeRaw%64) + 1
+		fs, err := NewFileSystem(Config{
+			Targets: targets, StripeUnit: stripe,
+			TargetBW: 1, NoncontigFactor: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		file := fs.Open("fuzz")
+		const max = 4096
+		oracle := make([]byte, max)
+		// Interpret the script as a sequence of (op, off, len, fill)
+		// 4-byte records.
+		for i := 0; i+4 <= len(script); i += 4 {
+			op := script[i] % 2
+			off := int64(script[i+1]) * 13 % max
+			n := int(script[i+2])%256 + 1
+			if off+int64(n) > max {
+				n = int(max - off)
+			}
+			if n <= 0 {
+				continue
+			}
+			if op == 0 {
+				buf := bytes.Repeat([]byte{script[i+3]}, n)
+				if _, err := file.WriteAt(buf, off); err != nil {
+					t.Fatal(err)
+				}
+				copy(oracle[off:off+int64(n)], buf)
+			} else {
+				got := make([]byte, n)
+				if _, err := file.ReadAt(got, off); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, oracle[off:off+int64(n)]) {
+					t.Fatalf("read mismatch at %d+%d", off, n)
+				}
+			}
+		}
+		full := make([]byte, max)
+		file.ReadAt(full, 0)
+		if !bytes.Equal(full, oracle) {
+			t.Fatal("final contents differ from oracle")
+		}
+	})
+}
+
+// FuzzNormalizeExtents checks the canonicalization invariants for
+// arbitrary extent lists.
+func FuzzNormalizeExtents(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var exts []Extent
+		for i := 0; i+2 <= len(data); i += 2 {
+			exts = append(exts, Extent{
+				Offset: int64(data[i]) * 7,
+				Length: int64(data[i+1]) % 50,
+			})
+		}
+		norm := NormalizeExtents(exts)
+		// Sorted, non-overlapping, non-adjacent, no empties.
+		for i, e := range norm {
+			if e.Length <= 0 {
+				t.Fatal("empty extent survived")
+			}
+			if i > 0 && e.Offset <= norm[i-1].End() {
+				t.Fatal("unsorted, overlapping, or unmerged adjacency")
+			}
+		}
+		// Idempotent.
+		again := NormalizeExtents(norm)
+		if len(again) != len(norm) {
+			t.Fatal("normalize not idempotent")
+		}
+		for i := range norm {
+			if norm[i] != again[i] {
+				t.Fatal("normalize not idempotent")
+			}
+		}
+		// Byte membership preserved: every byte of the input is in the
+		// output and vice versa (checked via a bitmap).
+		inBytes := map[int64]bool{}
+		for _, e := range exts {
+			for b := e.Offset; b < e.End(); b++ {
+				inBytes[b] = true
+			}
+		}
+		var outCount int64
+		for _, e := range norm {
+			for b := e.Offset; b < e.End(); b++ {
+				if !inBytes[b] {
+					t.Fatal("normalize invented bytes")
+				}
+				outCount++
+			}
+		}
+		if outCount != int64(len(inBytes)) {
+			t.Fatal("normalize lost bytes")
+		}
+	})
+}
+
+// FuzzSliceData checks that consecutive data-space slices partition the
+// extent set.
+func FuzzSliceData(f *testing.F) {
+	f.Add([]byte{10, 5, 40, 8}, uint16(7))
+	f.Fuzz(func(t *testing.T, data []byte, chunkRaw uint16) {
+		var exts []Extent
+		cur := int64(0)
+		for i := 0; i+2 <= len(data) && len(exts) < 16; i += 2 {
+			cur += int64(data[i])%64 + 1
+			length := int64(data[i+1])%64 + 1
+			exts = append(exts, Extent{Offset: cur, Length: length})
+			cur += length
+		}
+		norm := NormalizeExtents(exts)
+		total := TotalBytes(norm)
+		chunk := int64(chunkRaw)%128 + 1
+		var rebuilt []Extent
+		for off := int64(0); off < total; off += chunk {
+			n := chunk
+			if off+n > total {
+				n = total - off
+			}
+			piece := SliceData(norm, off, n)
+			if TotalBytes(piece) != n {
+				t.Fatalf("slice at %d+%d returned %d bytes", off, n, TotalBytes(piece))
+			}
+			rebuilt = append(rebuilt, piece...)
+		}
+		re := NormalizeExtents(rebuilt)
+		if len(re) != len(norm) {
+			t.Fatal("slices do not rebuild the extent set")
+		}
+		for i := range re {
+			if re[i] != norm[i] {
+				t.Fatal("slices do not rebuild the extent set")
+			}
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package pfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLayoutNormalize(t *testing.T) {
+	cfg := DefaultConfig(8)
+	l, err := Layout{}.normalize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.StripeUnit != cfg.StripeUnit || l.StripeCount != 8 || l.FirstTarget != 0 {
+		t.Fatalf("defaults: %+v", l)
+	}
+	bads := []Layout{
+		{StripeUnit: -1},
+		{StripeCount: 9},
+		{StripeCount: -1},
+		{FirstTarget: 8},
+		{FirstTarget: -1},
+	}
+	for i, b := range bads {
+		if _, err := b.normalize(cfg); err == nil {
+			t.Errorf("bad layout %d accepted", i)
+		}
+	}
+}
+
+func TestOpenStripedRoundTrip(t *testing.T) {
+	fs := testFS(t, 8, 64)
+	f, err := fs.OpenStriped("narrow", Layout{StripeUnit: 16, StripeCount: 2, FirstTarget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("striping over a narrow slice of the targets")
+	if _, err := f.WriteAt(data, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+	if f.Layout().StripeCount != 2 {
+		t.Fatalf("layout = %+v", f.Layout())
+	}
+}
+
+func TestOpenStripedConflict(t *testing.T) {
+	fs := testFS(t, 4, 32)
+	if _, err := fs.OpenStriped("f", Layout{StripeCount: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Same layout: fine (idempotent open).
+	if _, err := fs.OpenStriped("f", Layout{StripeUnit: 32, StripeCount: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Different layout: rejected.
+	if _, err := fs.OpenStriped("f", Layout{StripeCount: 3}); err == nil {
+		t.Fatal("conflicting restripe accepted")
+	}
+	// Default Open on a custom-striped file returns the existing file.
+	g := fs.Open("f")
+	if g == nil || g.Layout().StripeCount != 2 {
+		t.Fatal("Open did not return the existing striped file")
+	}
+}
+
+func TestMapFileExtentsHonorsLayout(t *testing.T) {
+	fs := testFS(t, 8, 16)
+	f, err := fs.OpenStriped("m", Layout{StripeUnit: 16, StripeCount: 2, FirstTarget: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 bytes = stripes 0..3 → layout targets 0,1,0,1 → fs targets 5,6.
+	accs := f.MapFileExtents([]Extent{{Offset: 0, Length: 64}})
+	if len(accs) != 2 {
+		t.Fatalf("accesses = %v", accs)
+	}
+	seen := map[int]int64{}
+	for _, a := range accs {
+		seen[a.Target] = a.Bytes
+	}
+	if seen[5] != 32 || seen[6] != 32 {
+		t.Fatalf("per-target bytes = %v", seen)
+	}
+}
+
+func TestMapFileExtentsWrap(t *testing.T) {
+	fs := testFS(t, 4, 16)
+	f, err := fs.OpenStriped("w", Layout{StripeUnit: 16, StripeCount: 3, FirstTarget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout targets 0,1,2 map to fs targets 3,0,1 (wrap).
+	accs := f.MapFileExtents([]Extent{{Offset: 0, Length: 48}})
+	targets := map[int]bool{}
+	for _, a := range accs {
+		targets[a.Target] = true
+	}
+	for _, want := range []int{3, 0, 1} {
+		if !targets[want] {
+			t.Fatalf("missing fs target %d in %v", want, targets)
+		}
+	}
+}
+
+func TestTargetStats(t *testing.T) {
+	fs := testFS(t, 4, 16)
+	f := fs.Open("s")
+	buf := make([]byte, 64) // 4 stripes over 4 targets
+	f.WriteAt(buf, 0)
+	f.ReadAt(buf[:32], 0)
+	stats := fs.Stats()
+	w := stats.Written()
+	for i := 0; i < 4; i++ {
+		if w[i] != 16 {
+			t.Fatalf("written[%d] = %d, want 16", i, w[i])
+		}
+	}
+	r := stats.Read()
+	if r[0] != 16 || r[1] != 16 || r[2] != 0 {
+		t.Fatalf("read = %v", r)
+	}
+	if imb := stats.Imbalance(); imb <= 1.0 {
+		t.Fatalf("imbalance = %v, want > 1 for uneven reads", imb)
+	}
+}
+
+func TestTargetStatsBalanced(t *testing.T) {
+	s := NewTargetStats(3)
+	if s.Imbalance() != 0 {
+		t.Fatal("no-traffic imbalance should be 0")
+	}
+	for i := 0; i < 3; i++ {
+		s.RecordWrite(i, 100)
+	}
+	if s.Imbalance() != 1.0 {
+		t.Fatalf("balanced imbalance = %v", s.Imbalance())
+	}
+}
+
+func TestNarrowStripingConcentratesTraffic(t *testing.T) {
+	fs := testFS(t, 8, 16)
+	wide := fs.Open("wide")
+	narrow, err := fs.OpenStriped("narrow", Layout{StripeCount: 1, FirstTarget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	wide.WriteAt(buf, 0)
+	narrow.WriteAt(buf, 0)
+	w := fs.Stats().Written()
+	// The narrow file's 256 bytes all landed on target 2.
+	if w[2] != 256+32 { // 32 from the wide file's share
+		t.Fatalf("written[2] = %d", w[2])
+	}
+	if w[3] != 32 {
+		t.Fatalf("written[3] = %d", w[3])
+	}
+}

@@ -1,0 +1,428 @@
+// Package sim computes the simulated time of collective I/O operations.
+//
+// A collective I/O strategy (two-phase or memory-conscious) executes as a
+// sequence of rounds; in each round aggregators exchange data with compute
+// processes over the network and issue reads/writes to storage targets.
+// The engine prices each round by its bottleneck resources:
+//
+//   - NIC injection/ejection time per node (bytes through the NIC / NIC BW,
+//     plus a per-message latency charge),
+//   - off-chip memory time per node (every byte shuffled through a node
+//     crosses DRAM MemCopyFactor times; the node's memory bandwidth is
+//     degraded when aggregation buffers exceed available memory — paging —
+//     and when more aggregators than the per-node optimum N_ah are active —
+//     contention),
+//   - storage time per target (per-request overhead plus streaming time,
+//     inflated for noncontiguous access).
+//
+// Round time is the maximum (overlapped phases) or the sum (classic
+// blocking two-phase) of the communication and storage bottlenecks;
+// operation time is the sum over rounds. Reported bandwidth is user bytes
+// divided by operation time, which is how IOR and coll_perf report.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"mcio/internal/machine"
+)
+
+// StorageParams prices accesses to the parallel-file-system targets.
+type StorageParams struct {
+	Targets     int     // number of storage targets (OSTs)
+	TargetBW    float64 // streaming write bandwidth per target, bytes/s
+	ReqOverhead float64 // fixed cost per storage request, seconds (seek+RPC)
+	// NoncontigFactor inflates the streaming time of an access marked
+	// noncontiguous (>1: noncontiguous I/O is slower per byte).
+	NoncontigFactor float64
+	// ReadBWFactor scales TargetBW for read accesses; the zero value means
+	// symmetric (factor 1).
+	ReadBWFactor float64
+}
+
+// readBW returns the effective streaming bandwidth for reads.
+func (s StorageParams) readBW() float64 {
+	if s.ReadBWFactor <= 0 {
+		return s.TargetBW
+	}
+	return s.TargetBW * s.ReadBWFactor
+}
+
+// Validate reports an error for parameters the engine cannot price.
+func (s StorageParams) Validate() error {
+	switch {
+	case s.Targets <= 0:
+		return fmt.Errorf("sim: Targets = %d, must be positive", s.Targets)
+	case s.TargetBW <= 0:
+		return fmt.Errorf("sim: TargetBW must be positive")
+	case s.ReqOverhead < 0:
+		return fmt.Errorf("sim: ReqOverhead must be non-negative")
+	case s.NoncontigFactor < 1:
+		return fmt.Errorf("sim: NoncontigFactor must be >= 1")
+	case s.ReadBWFactor < 0:
+		return fmt.Errorf("sim: ReadBWFactor must be non-negative")
+	}
+	return nil
+}
+
+// Options tunes engine behaviour not tied to a machine or storage preset.
+type Options struct {
+	// Overlap makes communication and I/O phases of one round proceed
+	// concurrently (pipelined collective buffering). ROMIO's classic
+	// two-phase is blocking, so the default (false) sums the phases.
+	Overlap bool
+	// Trace records a TraceEntry per round, retrievable via Trace().
+	// Off by default: operations can run hundreds of rounds.
+	Trace bool
+	// MemCopyFactor is how many times each shuffled byte crosses a node's
+	// DRAM (copy into the aggregation buffer and out to the NIC ≈ 2).
+	MemCopyFactor float64
+	// NahOpt is the number of aggregators one node can host before
+	// off-chip contention degrades bandwidth (the paper's N_ah).
+	NahOpt int
+	// ContentionBeta scales the bandwidth degradation per aggregator
+	// beyond NahOpt: effBW = memBW / (1 + beta*max(0, k-NahOpt)).
+	ContentionBeta float64
+}
+
+// DefaultOptions returns the options used by the shipped experiments.
+func DefaultOptions() Options {
+	return Options{
+		Overlap:        false,
+		MemCopyFactor:  2,
+		NahOpt:         4,
+		ContentionBeta: 0.35,
+	}
+}
+
+// Validate reports an error for unusable options.
+func (o Options) Validate() error {
+	switch {
+	case o.MemCopyFactor <= 0:
+		return fmt.Errorf("sim: MemCopyFactor must be positive")
+	case o.NahOpt <= 0:
+		return fmt.Errorf("sim: NahOpt must be positive")
+	case o.ContentionBeta < 0:
+		return fmt.Errorf("sim: ContentionBeta must be non-negative")
+	}
+	return nil
+}
+
+// Message is one network transfer within a round. Intra-node transfers
+// (SrcNode == DstNode) skip the NIC and only consume memory bandwidth.
+type Message struct {
+	SrcNode int
+	DstNode int
+	Bytes   int64
+}
+
+// IOOp is one storage access issued by an aggregator within a round.
+type IOOp struct {
+	Target     int   // storage target (OST) index
+	Node       int   // compute node issuing the access
+	Bytes      int64 // payload bytes
+	Requests   int   // number of distinct requests this access costs
+	Contiguous bool  // whether the access streams contiguously
+	Write      bool  // direction; pricing is symmetric but totals separate
+}
+
+// Round is one step of a collective operation.
+type Round struct {
+	Messages []Message
+	IOOps    []IOOp
+}
+
+// AggregatorPlacement declares one aggregator for the duration of an
+// operation: which node hosts it, how large its aggregation buffer is, and
+// how severely that buffer over-committed the host's available memory.
+//
+// PagedSeverity is the over-committed fraction of the buffer in [0, 1]:
+// 0 means the aggregation buffer fits entirely in available memory, 1
+// means none of it does and every buffer access pages. The node's
+// effective memory bandwidth interpolates between full speed and
+// PagedBandwidthFraction accordingly, so a mildly over-committed
+// aggregator degrades mildly — which is what makes the baseline's
+// performance fall off progressively as buffers shrink below the
+// (variance-afflicted) available memory, as in the paper's Figures 6-8.
+type AggregatorPlacement struct {
+	Node          int
+	BufferBytes   int64
+	PagedSeverity float64
+}
+
+// Paged reports whether the placement over-commits its host at all.
+func (a AggregatorPlacement) Paged() bool { return a.PagedSeverity > 0 }
+
+// RoundCost is the engine's pricing of one round.
+type RoundCost struct {
+	CommTime float64 // network + memory bottleneck, seconds
+	IOTime   float64 // storage bottleneck, seconds
+	Time     float64 // round wall time (max or sum per Options.Overlap)
+}
+
+// Totals accumulates operation-level accounting.
+type Totals struct {
+	Rounds    int
+	CommTime  float64
+	IOTime    float64
+	Time      float64
+	NetBytes  int64 // bytes that crossed a NIC (inter-node only)
+	ShufBytes int64 // all shuffled bytes incl. intra-node
+	IOBytes   int64
+	Requests  int
+	// PerNodeShuffle records shuffled bytes through each node that hosted
+	// an aggregator or endpoint, for memory-pressure reporting.
+	PerNodeShuffle map[int]int64
+}
+
+// TraceEntry is one round's record when tracing is enabled.
+type TraceEntry struct {
+	Round     int
+	Cost      RoundCost
+	Messages  int
+	IOOps     int
+	CommBytes int64
+	IOBytes   int64
+}
+
+// Engine prices rounds against a machine design point and storage
+// parameters. It is not safe for concurrent use.
+type Engine struct {
+	mc      machine.Config
+	st      StorageParams
+	opt     Options
+	aggsPer map[int]int     // node -> active aggregator count
+	paged   map[int]float64 // node -> worst paging severity present
+	totals  Totals
+	trace   []TraceEntry
+}
+
+// NewEngine builds an engine. The machine config, storage parameters and
+// options are validated once here.
+func NewEngine(mc machine.Config, st StorageParams, opt Options) (*Engine, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		mc:      mc,
+		st:      st,
+		opt:     opt,
+		aggsPer: map[int]int{},
+		paged:   map[int]float64{},
+		totals:  Totals{PerNodeShuffle: map[int]int64{}},
+	}, nil
+}
+
+// SetAggregators declares the aggregator placement for the operation being
+// priced. It resets any previous placement. Severities outside [0,1] are
+// clamped.
+func (e *Engine) SetAggregators(aggs []AggregatorPlacement) {
+	e.aggsPer = map[int]int{}
+	e.paged = map[int]float64{}
+	for _, a := range aggs {
+		e.aggsPer[a.Node]++
+		s := a.PagedSeverity
+		if s < 0 {
+			s = 0
+		}
+		if s > 1 {
+			s = 1
+		}
+		if s > e.paged[a.Node] {
+			e.paged[a.Node] = s
+		}
+	}
+}
+
+// pagedSlowdown returns the multiplicative slowdown of everything an
+// aggregator on this node touches once its buffer pages: a paged
+// aggregation buffer stalls the copy into/out of the buffer, the NIC
+// transfers that feed it, and the storage accesses that drain it, because
+// every one of those reads or writes the faulting pages. Severity s
+// interpolates linearly between full speed (1x) and running the buffer at
+// PagedBandwidthFraction of DRAM speed.
+func (e *Engine) pagedSlowdown(node int) float64 {
+	s := e.paged[node]
+	if s <= 0 {
+		return 1
+	}
+	return 1 / (1 - s*(1-e.mc.PagedBandwidthFraction))
+}
+
+// effMemBW returns the node's effective off-chip bandwidth for shuffle
+// traffic given paging state and aggregator contention.
+func (e *Engine) effMemBW(node int) float64 {
+	bw := e.mc.MemBandwidth / e.pagedSlowdown(node)
+	if k := e.aggsPer[node]; k > e.opt.NahOpt {
+		bw /= 1 + e.opt.ContentionBeta*float64(k-e.opt.NahOpt)
+	}
+	return bw
+}
+
+// RunRound prices one round and accumulates it into the totals.
+func (e *Engine) RunRound(r Round) RoundCost {
+	type nodeLoad struct {
+		in, out int64 // NIC bytes
+		mem     int64 // DRAM bytes
+		msgs    int
+	}
+	loads := map[int]*nodeLoad{}
+	load := func(n int) *nodeLoad {
+		l := loads[n]
+		if l == nil {
+			l = &nodeLoad{}
+			loads[n] = l
+		}
+		return l
+	}
+
+	for _, m := range r.Messages {
+		if m.Bytes < 0 {
+			panic("sim: negative message size")
+		}
+		if m.Bytes == 0 {
+			continue
+		}
+		e.totals.ShufBytes += m.Bytes
+		e.totals.PerNodeShuffle[m.SrcNode] += m.Bytes
+		if m.SrcNode == m.DstNode {
+			// Intra-node: two extra DRAM crossings, no NIC.
+			l := load(m.SrcNode)
+			l.mem += int64(e.opt.MemCopyFactor * float64(m.Bytes) * 2)
+			l.msgs++
+			continue
+		}
+		e.totals.NetBytes += m.Bytes
+		e.totals.PerNodeShuffle[m.DstNode] += m.Bytes
+		src, dst := load(m.SrcNode), load(m.DstNode)
+		src.out += m.Bytes
+		dst.in += m.Bytes
+		src.mem += int64(e.opt.MemCopyFactor * float64(m.Bytes))
+		dst.mem += int64(e.opt.MemCopyFactor * float64(m.Bytes))
+		src.msgs++
+		dst.msgs++
+	}
+
+	// Storage accesses also traverse the issuing node's NIC and DRAM.
+	targetTime := make(map[int]float64)
+	for _, op := range r.IOOps {
+		if op.Bytes < 0 {
+			panic("sim: negative I/O size")
+		}
+		if op.Target < 0 || op.Target >= e.st.Targets {
+			panic(fmt.Sprintf("sim: I/O op for target %d outside [0,%d)", op.Target, e.st.Targets))
+		}
+		if op.Bytes == 0 && op.Requests == 0 {
+			continue
+		}
+		e.totals.IOBytes += op.Bytes
+		e.totals.Requests += op.Requests
+		l := load(op.Node)
+		if op.Write {
+			l.out += op.Bytes
+		} else {
+			l.in += op.Bytes
+		}
+		l.mem += int64(e.opt.MemCopyFactor * float64(op.Bytes))
+		bw := e.st.TargetBW
+		if !op.Write {
+			bw = e.st.readBW()
+		}
+		stream := float64(op.Bytes) / bw
+		if !op.Contiguous {
+			stream *= e.st.NoncontigFactor
+		}
+		// A paged issuing node drains/fills its aggregation buffer at
+		// paged speed, throttling the storage access it drives.
+		targetTime[op.Target] += (e.st.ReqOverhead*float64(op.Requests) + stream) * e.pagedSlowdown(op.Node)
+	}
+
+	var comm float64
+	for n, l := range loads {
+		slow := e.pagedSlowdown(n)
+		t := float64(l.out) / e.mc.NICBandwidth * slow
+		if tin := float64(l.in) / e.mc.NICBandwidth * slow; tin > t {
+			t = tin
+		}
+		if tm := float64(l.mem) / e.effMemBW(n); tm > t {
+			t = tm
+		}
+		t += float64(l.msgs) * e.mc.NetLatency
+		if t > comm {
+			comm = t
+		}
+	}
+	var io float64
+	for _, t := range targetTime {
+		if t > io {
+			io = t
+		}
+	}
+
+	rc := RoundCost{CommTime: comm, IOTime: io}
+	if e.opt.Overlap {
+		rc.Time = math.Max(comm, io)
+	} else {
+		rc.Time = comm + io
+	}
+	e.totals.Rounds++
+	e.totals.CommTime += comm
+	e.totals.IOTime += io
+	e.totals.Time += rc.Time
+	if e.opt.Trace {
+		entry := TraceEntry{Round: e.totals.Rounds - 1, Cost: rc, Messages: len(r.Messages), IOOps: len(r.IOOps)}
+		for _, m := range r.Messages {
+			entry.CommBytes += m.Bytes
+		}
+		for _, op := range r.IOOps {
+			entry.IOBytes += op.Bytes
+		}
+		e.trace = append(e.trace, entry)
+	}
+	return rc
+}
+
+// Trace returns the per-round records collected so far; empty unless
+// Options.Trace was set.
+func (e *Engine) Trace() []TraceEntry {
+	return append([]TraceEntry(nil), e.trace...)
+}
+
+// AddLatency charges a flat latency (e.g. collective metadata exchange)
+// to the operation without any byte movement.
+func (e *Engine) AddLatency(seconds float64) {
+	if seconds < 0 {
+		panic("sim: negative latency")
+	}
+	e.totals.Time += seconds
+	e.totals.CommTime += seconds
+}
+
+// Totals returns a copy of the accumulated accounting.
+func (e *Engine) Totals() Totals {
+	t := e.totals
+	t.PerNodeShuffle = make(map[int]int64, len(e.totals.PerNodeShuffle))
+	for k, v := range e.totals.PerNodeShuffle {
+		t.PerNodeShuffle[k] = v
+	}
+	return t
+}
+
+// Elapsed returns the operation's accumulated simulated seconds.
+func (e *Engine) Elapsed() float64 { return e.totals.Time }
+
+// Bandwidth returns userBytes / elapsed time in bytes/second, or 0 when no
+// time has elapsed.
+func (e *Engine) Bandwidth(userBytes int64) float64 {
+	if e.totals.Time == 0 {
+		return 0
+	}
+	return float64(userBytes) / e.totals.Time
+}

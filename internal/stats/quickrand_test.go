@@ -1,0 +1,9 @@
+package stats
+
+import mrand "math/rand"
+
+// quickRand adapts an RNG into the *math/rand.Rand that testing/quick
+// expects, keeping property tests seeded and reproducible.
+func quickRand(r *RNG) *mrand.Rand {
+	return mrand.New(mrand.NewSource(int64(r.Uint64())))
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Stddev != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Min != 42 || s.Max != 42 || s.Mean != 42 || s.Median != 42 {
+		t.Fatalf("bad single-element summary: %+v", s)
+	}
+	if s.Stddev != 0 {
+		t.Fatalf("single-element stddev = %v, want 0", s.Stddev)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummaryBounds(t *testing.T) {
+	r := NewRNG(23)
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		rr := NewRNG(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rr.Normal(0, 10)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P05 && s.P05 <= s.Median &&
+			s.Median <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}, &quick.Config{MaxCount: 300, Rand: quickRand(r)})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {75, 40}, {-5, 10}, {110, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Percentile(sorted, 50); got != 5 {
+		t.Fatalf("interpolated percentile = %v, want 5", got)
+	}
+}
+
+func TestCV(t *testing.T) {
+	s := Summary{Mean: 10, Stddev: 2}
+	if s.CV() != 0.2 {
+		t.Fatalf("CV = %v, want 0.2", s.CV())
+	}
+	if (Summary{}).CV() != 0 {
+		t.Fatal("zero-mean CV should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 10", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) should be 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean([1 2 3]) should be 2")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 15} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Bins[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin0 = %d, want 2", h.Bins[0])
+	}
+	if h.Bins[1] != 1 { // 2
+		t.Fatalf("bin1 = %d, want 1", h.Bins[1])
+	}
+	if h.Bins[4] != 1 { // 9.99
+		t.Fatalf("bin4 = %d, want 1", h.Bins[4])
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramConservation(t *testing.T) {
+	r := NewRNG(31)
+	h := NewHistogram(-50, 50, 17)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		h.Add(r.Normal(0, 30))
+	}
+	if h.Total() != n {
+		t.Fatalf("histogram lost samples: %d != %d", h.Total(), n)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 10, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

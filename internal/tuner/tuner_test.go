@@ -1,0 +1,153 @@
+package tuner
+
+import (
+	"strings"
+	"testing"
+
+	"mcio/internal/collio"
+	"mcio/internal/machine"
+	"mcio/internal/mpi"
+	"mcio/internal/pfs"
+	"mcio/internal/sim"
+	"mcio/internal/workload"
+)
+
+func testContext(t *testing.T) (*collio.Context, []collio.RankRequest) {
+	t.Helper()
+	topo, err := mpi.BlockTopology(24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := machine.Testbed640().Scaled(topo.Nodes())
+	avail := make([]int64, topo.Nodes())
+	for i := range avail {
+		avail[i] = int64(i+1) * (512 << 10)
+	}
+	ctx := &collio.Context{
+		Topo:    topo,
+		Machine: mc,
+		Avail:   avail,
+		FS:      pfs.DefaultConfig(8),
+		Params:  collio.DefaultParams(256 << 10),
+	}
+	w := workload.IOR{Ranks: 24, BlockSize: 512 << 10, TransferSize: 512 << 10, Segments: 4}
+	reqs, err := w.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, reqs
+}
+
+func TestTuneFindsACandidate(t *testing.T) {
+	ctx, reqs := testContext(t)
+	res, err := Tune(ctx, reqs, collio.Write, sim.DefaultOptions(), Grid{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 4*5 { // default grid: 4 Nah x 5 MsgInd x 1 group
+		t.Fatalf("evaluations = %d", res.Evaluations)
+	}
+	if res.Best.Bandwidth <= 0 {
+		t.Fatal("best candidate has no bandwidth")
+	}
+	// Candidates are sorted best-first.
+	for i := 1; i < len(res.Candidates); i++ {
+		if res.Candidates[i].Bandwidth > res.Candidates[i-1].Bandwidth {
+			t.Fatal("candidates not sorted")
+		}
+	}
+}
+
+func TestTuneBestBeatsDefaults(t *testing.T) {
+	ctx, reqs := testContext(t)
+	opt := sim.DefaultOptions()
+	res, err := Tune(ctx, reqs, collio.Write, opt, Grid{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tuned parameters must be at least as good as the untuned
+	// defaults (which are in the grid's span).
+	defaultIdx := -1
+	for i, c := range res.Candidates {
+		if c.Params.Nah == ctx.Params.Nah && c.Params.MsgInd == ctx.Params.CollBufSize {
+			defaultIdx = i
+			break
+		}
+	}
+	if defaultIdx == -1 {
+		t.Skip("default point not in grid")
+	}
+	if res.Best.Bandwidth < res.Candidates[defaultIdx].Bandwidth {
+		t.Fatal("best candidate worse than default")
+	}
+}
+
+func TestTuneDeterministic(t *testing.T) {
+	ctx, reqs := testContext(t)
+	a, err := Tune(ctx, reqs, collio.Read, sim.DefaultOptions(), Grid{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tune(ctx, reqs, collio.Read, sim.DefaultOptions(), Grid{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Bandwidth != b.Best.Bandwidth || a.Best.Params != b.Best.Params {
+		t.Fatal("tuner not deterministic")
+	}
+}
+
+func TestTuneCustomGrid(t *testing.T) {
+	ctx, reqs := testContext(t)
+	res, err := Tune(ctx, reqs, collio.Write, sim.DefaultOptions(), Grid{
+		NahValues:     []int{2},
+		MsgIndFactors: []int64{4},
+		GroupFactors:  []int64{4, 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 2 {
+		t.Fatalf("evaluations = %d", res.Evaluations)
+	}
+	for _, c := range res.Candidates {
+		if c.Params.Nah != 2 || c.Params.MsgInd != 4*ctx.Params.CollBufSize {
+			t.Fatalf("grid not respected: %+v", c.Params)
+		}
+	}
+}
+
+func TestTuneRejectsBadInput(t *testing.T) {
+	ctx, reqs := testContext(t)
+	if _, err := Tune(ctx, reqs, collio.Write, sim.DefaultOptions(), Grid{NahValues: []int{0}}); err == nil {
+		t.Fatal("zero Nah accepted")
+	}
+	if _, err := Tune(ctx, reqs, collio.Write, sim.DefaultOptions(), Grid{MsgIndFactors: []int64{-1}}); err == nil {
+		t.Fatal("negative factor accepted")
+	}
+	bad := *ctx
+	bad.Avail = nil
+	if _, err := Tune(&bad, reqs, collio.Write, sim.DefaultOptions(), Grid{}); err == nil {
+		t.Fatal("invalid context accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	ctx, reqs := testContext(t)
+	res, err := Tune(ctx, reqs, collio.Write, sim.DefaultOptions(), Grid{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render(3)
+	if !strings.Contains(out, "Nah") || !strings.Contains(out, "MB/s") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 5 { // title + header + 3 rows
+		t.Fatalf("render should show 3 rows:\n%s", out)
+	}
+	// Render with out-of-range top shows everything.
+	all := res.Render(0)
+	if strings.Count(all, "\n") != 2+len(res.Candidates) {
+		t.Fatal("render(0) should show all candidates")
+	}
+}

@@ -1,0 +1,198 @@
+package twophase
+
+import (
+	"testing"
+
+	"mcio/internal/collio"
+	"mcio/internal/machine"
+	"mcio/internal/mpi"
+	"mcio/internal/pfs"
+)
+
+func testContext(t *testing.T, ranks, perNode int, avail []int64) *collio.Context {
+	t.Helper()
+	topo, err := mpi.BlockTopology(ranks, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := machine.Testbed640()
+	mc.Nodes = topo.Nodes()
+	if avail == nil {
+		avail = make([]int64, topo.Nodes())
+		for i := range avail {
+			avail[i] = mc.MemPerNode
+		}
+	}
+	return &collio.Context{
+		Topo:    topo,
+		Machine: mc,
+		Avail:   avail,
+		FS:      pfs.DefaultConfig(4),
+		Params:  collio.DefaultParams(1 << 20),
+	}
+}
+
+func serialRequests(n int, size int64) []collio.RankRequest {
+	reqs := make([]collio.RankRequest, n)
+	for r := 0; r < n; r++ {
+		reqs[r] = collio.RankRequest{
+			Rank:    r,
+			Extents: []pfs.Extent{{Offset: int64(r) * size, Length: size}},
+		}
+	}
+	return reqs
+}
+
+func TestPlanOneAggregatorPerNode(t *testing.T) {
+	ctx := testContext(t, 12, 4, nil) // 3 nodes
+	reqs := serialRequests(12, 1000)
+	plan, err := New().Plan(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Groups != 1 {
+		t.Fatalf("two-phase must use a single global group, got %d", plan.Groups)
+	}
+	aggs := plan.Aggregators()
+	if len(aggs) != 3 {
+		t.Fatalf("aggregators = %v, want one per node", aggs)
+	}
+	// ROMIO default: the first rank of each node.
+	want := []int{0, 4, 8}
+	for i := range want {
+		if aggs[i] != want[i] {
+			t.Fatalf("aggregators = %v, want %v", aggs, want)
+		}
+	}
+}
+
+func TestPlanEvenOffsetSplit(t *testing.T) {
+	ctx := testContext(t, 12, 4, nil)
+	reqs := serialRequests(12, 1000) // 12000 bytes over 3 domains
+	plan, err := New().Plan(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Domains) != 3 {
+		t.Fatalf("domains = %d", len(plan.Domains))
+	}
+	for i, d := range plan.Domains {
+		if d.Bytes != 4000 {
+			t.Errorf("domain %d bytes = %d, want even 4000", i, d.Bytes)
+		}
+		if d.BufferBytes != ctx.Params.CollBufSize {
+			t.Errorf("domain %d buffer = %d, want fixed cb_buffer_size", i, d.BufferBytes)
+		}
+	}
+}
+
+func TestPlanObliviousToMemory(t *testing.T) {
+	// A memory-starved node still gets its aggregator — with the paging
+	// severity recorded — because the baseline ignores availability.
+	avail := []int64{1 << 30, 0, 1 << 30}
+	ctx := testContext(t, 12, 4, avail)
+	reqs := serialRequests(12, 1000)
+	plan, err := New().Plan(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starved *collio.Domain
+	for i := range plan.Domains {
+		if plan.Domains[i].AggNode == 1 {
+			starved = &plan.Domains[i]
+		}
+	}
+	if starved == nil {
+		t.Fatal("baseline should still aggregate on the starved node")
+	}
+	if starved.PagedSeverity != 1 {
+		t.Fatalf("starved aggregator severity = %v, want 1", starved.PagedSeverity)
+	}
+}
+
+func TestPlanPartialSeverity(t *testing.T) {
+	buf := ctxBuf()
+	avail := []int64{buf / 2, buf * 2, buf * 2}
+	ctx := testContext(t, 12, 4, avail)
+	ctx.Params = collio.DefaultParams(buf)
+	plan, err := New().Plan(ctx, serialRequests(12, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range plan.Domains {
+		if d.AggNode == 0 && d.PagedSeverity != 0.5 {
+			t.Fatalf("half-fitting buffer severity = %v, want 0.5", d.PagedSeverity)
+		}
+		if d.AggNode != 0 && d.PagedSeverity != 0 {
+			t.Fatalf("fitting buffer severity = %v, want 0", d.PagedSeverity)
+		}
+	}
+}
+
+func ctxBuf() int64 { return 1 << 20 }
+
+func TestPlanEmptyRequests(t *testing.T) {
+	ctx := testContext(t, 4, 2, nil)
+	plan, err := New().Plan(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Domains) != 0 {
+		t.Fatalf("plan of nothing has %d domains", len(plan.Domains))
+	}
+	if err := plan.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanSkipsEmptyDomains(t *testing.T) {
+	// All data in the first sixth of the range: later aggregators get
+	// empty domains, which must be dropped, and the plan still covers
+	// everything.
+	ctx := testContext(t, 12, 4, nil)
+	reqs := []collio.RankRequest{
+		{Rank: 0, Extents: []pfs.Extent{{Offset: 0, Length: 100}}},
+		{Rank: 1, Extents: []pfs.Extent{{Offset: 11900, Length: 100}}},
+	}
+	plan, err := New().Plan(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(reqs); err != nil {
+		t.Fatal(err)
+	}
+	// Middle third of the offset range has no data: only 2 domains.
+	if len(plan.Domains) != 2 {
+		t.Fatalf("domains = %d, want 2 (empty middle dropped)", len(plan.Domains))
+	}
+}
+
+func TestPlanMultipleAggregatorsPerNode(t *testing.T) {
+	s := &Strategy{AggregatorsPerNode: 2}
+	ctx := testContext(t, 12, 4, nil)
+	reqs := serialRequests(12, 1000)
+	plan, err := s.Plan(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Aggregators()); got != 6 {
+		t.Fatalf("aggregators = %d, want 6", got)
+	}
+}
+
+func TestPlanRejectsInvalidRank(t *testing.T) {
+	ctx := testContext(t, 4, 2, nil)
+	_, err := New().Plan(ctx, []collio.RankRequest{{Rank: -1, Extents: []pfs.Extent{{Offset: 0, Length: 1}}}})
+	if err == nil {
+		t.Fatal("invalid rank accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "two-phase" {
+		t.Fatal("name")
+	}
+}
