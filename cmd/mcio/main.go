@@ -12,6 +12,12 @@
 //	mcio -exp ablation              # design-choice ablations
 //	mcio -exp all                   # everything above
 //
+// The observe subcommand runs one figure workload with full
+// observability and exports a Chrome/Perfetto trace (simulated time) and
+// a metrics snapshot:
+//
+//	mcio observe fig7 -trace-out trace.json -metrics-out metrics.json
+//
 // -scale divides every byte quantity (1 = paper-exact sizes, slower);
 // -seed drives the availability variance; -details adds per-point
 // aggregator accounting to figure output.
@@ -28,11 +34,92 @@ import (
 	"mcio/internal/core"
 	"mcio/internal/machine"
 	"mcio/internal/mpi"
+	"mcio/internal/obs"
 	"mcio/internal/pfs"
 	"mcio/internal/twophase"
 )
 
+// observe is the `mcio observe` subcommand: run one figure workload under
+// full observability and export the simulated-time trace and the metrics
+// snapshot.
+//
+//	mcio observe fig7 -trace-out trace.json -metrics-out metrics.json
+func observe(args []string) error {
+	fs := flag.NewFlagSet("observe", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mcio observe [fig6|fig7|fig8] [flags]")
+		fs.PrintDefaults()
+	}
+	scale := fs.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
+	seed := fs.Uint64("seed", 42, "seed for the availability variance")
+	mem := fs.Int("mem", 16, "paper-scale mean memory per aggregator, MB")
+	opName := fs.String("op", "write", "collective direction: write or read")
+	traceOut := fs.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file here")
+	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot here (.csv extension selects CSV, otherwise JSON)")
+	figure := "fig7"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		figure = args[0]
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var op collio.Op
+	switch *opName {
+	case "write":
+		op = collio.Write
+	case "read":
+		op = collio.Read
+	default:
+		return fmt.Errorf("unknown op %q (want write or read)", *opName)
+	}
+	res, err := bench.Observe(figure, *scale, *seed, *mem, op)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Summary)
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(f *os.File) error {
+			return obs.WriteChromeTrace(f, res.Obs.Trace)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		write := func(f *os.File) error { return obs.WriteMetricsJSON(f, res.Obs.Metrics) }
+		if strings.HasSuffix(*metricsOut, ".csv") {
+			write = func(f *os.File) error { return obs.WriteMetricsCSV(f, res.Obs.Metrics) }
+		}
+		if err := writeFile(*metricsOut, write); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics %s\n", *metricsOut)
+	}
+	return nil
+}
+
+// writeFile creates path, runs write on it, and reports the first error.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "observe" {
+		if err := observe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "mcio observe:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	exp := flag.String("exp", "all", "experiment: table1, fig2, fig4, fig5, fig6, fig7, fig8, motivation, comparison, random, plan, scaling, trajectory, trace, tune, ablation, all")
 	scale := flag.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
 	seed := flag.Uint64("seed", 42, "seed for the availability variance")

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcio/internal/collio"
+	"mcio/internal/core"
+	"mcio/internal/obs"
+	"mcio/internal/sim"
+	"mcio/internal/stats"
+	"mcio/internal/twophase"
+)
+
+// ObserveResult is one instrumented run of a figure workload: both
+// strategies planned and priced with a shared Observer collecting metrics
+// and simulated-time spans, plus a human-readable summary.
+type ObserveResult struct {
+	Obs     *obs.Observer
+	Summary string
+}
+
+// Observe runs one sweep point of a figure's workload (fig6, fig7 or
+// fig8) under full observability: both strategies plan against the same
+// machine state, the cost engine prices them with round tracing on, and
+// every layer (planner, sim engine, memory model) reports into a fresh
+// Observer. The returned observer holds the metrics snapshot and the
+// Chrome-traceable spans; the summary prints round counts, elapsed
+// simulated time and the per-round bottleneck tally for each strategy.
+//
+// memMB is the paper-scale mean memory per aggregator; 0 picks 16 MB, a
+// point where the baseline pages and the memory-conscious strategy
+// adapts — the contrast the trace is for.
+func Observe(figure string, scale int64, seed uint64, memMB int, op collio.Op) (*ObserveResult, error) {
+	if memMB <= 0 {
+		memMB = 16
+	}
+	var (
+		cfg  Config
+		wl   Workload
+		name string
+		err  error
+	)
+	switch figure {
+	case "fig6":
+		cfg = Fig6Config(scale, seed)
+		wl, name, err = Fig6Workload(cfg)
+		if err != nil {
+			return nil, err
+		}
+	case "fig7":
+		cfg = Fig7Config(scale, seed)
+		wl, name = Fig7Workload(cfg)
+	case "fig8":
+		cfg = Fig8Config(scale, seed)
+		wl, name = Fig8Workload(cfg)
+	default:
+		return nil, fmt.Errorf("bench: Observe knows fig6, fig7, fig8; not %q", figure)
+	}
+	cfg.MemMB = []int{memMB}
+	reqs, err := wl.Requests()
+	if err != nil {
+		return nil, err
+	}
+	nodes := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
+	r := stats.NewRNG(cfg.Seed)
+	zs := make([]float64, nodes)
+	for i := range zs {
+		zs[i] = r.Normal(0, 1)
+	}
+	ctx, err := cfg.context(cfg.scaled(int64(memMB)*MB), zs, wl.TotalBytes())
+	if err != nil {
+		return nil, err
+	}
+	ctx.Obs = obs.New()
+	opt := sim.DefaultOptions()
+	opt.Trace = true
+	opt.Overlap = cfg.Overlap
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "observe %s: %s, %s, %d MB per aggregator\n", figure, name, op, memMB)
+	for _, s := range []collio.Strategy{twophase.New(), core.New()} {
+		plan, err := s.Plan(ctx, reqs)
+		if err != nil {
+			return nil, err
+		}
+		if err := plan.Validate(reqs); err != nil {
+			return nil, err
+		}
+		res, err := collio.Cost(ctx, plan, reqs, op, opt)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%s: %d domains, %d rounds, %.4fs simulated (%.1f MB/s)\n",
+			s.Name(), len(plan.Domains), len(res.Trace), res.Seconds,
+			float64(wl.TotalBytes())/res.Seconds/1e6)
+		for _, line := range bindingTally(res.Trace) {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return &ObserveResult{Obs: ctx.Obs, Summary: b.String()}, nil
+}
+
+// bindingTally counts which resource bound each traced round, rendered as
+// sorted "bound by X in N rounds" lines.
+func bindingTally(tr []sim.TraceEntry) []string {
+	counts := map[string]int{}
+	for _, e := range tr {
+		counts[e.Binding.String()]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("bound by %s in %d round(s)", k, counts[k])
+	}
+	return out
+}

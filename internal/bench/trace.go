@@ -53,24 +53,38 @@ func RoundTrace(scale int64, seed uint64, memMB int) (string, error) {
 		tr := res.Trace
 		fmt.Fprintf(&b, "%s: %d rounds, %.4fs total (comm %.4fs, io %.4fs)\n",
 			s.Name(), len(tr), res.Seconds, res.Totals.CommTime, res.Totals.IOTime)
-		show := tr
-		const head, tail = 3, 2
-		if len(tr) > head+tail+1 {
-			show = tr[:head]
+		head, elided, tail := elide(len(tr))
+		for _, e := range tr[:head] {
+			b.WriteString(traceLine(e))
 		}
-		for _, e := range show {
-			fmt.Fprintf(&b, "  round %4d: %8.2fµs comm + %8.2fµs io  (%d msgs, %d ops, %d KB comm, %d KB io)\n",
-				e.Round, e.Cost.CommTime*1e6, e.Cost.IOTime*1e6,
-				e.Messages, e.IOOps, e.CommBytes>>10, e.IOBytes>>10)
+		if elided > 0 {
+			fmt.Fprintf(&b, "  ... %d more rounds ...\n", elided)
 		}
-		if len(tr) > head+tail+1 {
-			fmt.Fprintf(&b, "  ... %d more rounds ...\n", len(tr)-head-tail)
-			for _, e := range tr[len(tr)-tail:] {
-				fmt.Fprintf(&b, "  round %4d: %8.2fµs comm + %8.2fµs io  (%d msgs, %d ops, %d KB comm, %d KB io)\n",
-					e.Round, e.Cost.CommTime*1e6, e.Cost.IOTime*1e6,
-					e.Messages, e.IOOps, e.CommBytes>>10, e.IOBytes>>10)
-			}
+		for _, e := range tr[len(tr)-tail:] {
+			b.WriteString(traceLine(e))
 		}
 	}
 	return b.String(), nil
+}
+
+// elide decides how a trace of n rounds is shown: the first head rounds,
+// an "... elided ..." marker, and the last tail rounds. Short traces
+// (n <= head+tail+1) show every round with no marker: an ellipsis
+// standing for zero or one hidden rounds would be longer than the rounds
+// themselves. Invariant: head + elided + tail == n, tail == 0 when
+// nothing is elided (so the head slice is the whole trace, never
+// overlapping the tail slice).
+func elide(n int) (head, elided, tail int) {
+	const maxHead, maxTail = 3, 2
+	if n <= maxHead+maxTail+1 {
+		return n, 0, 0
+	}
+	return maxHead, n - maxHead - maxTail, maxTail
+}
+
+// traceLine renders one traced round, including which resource bound it.
+func traceLine(e sim.TraceEntry) string {
+	return fmt.Sprintf("  round %4d: %8.2fµs comm + %8.2fµs io  (%d msgs, %d ops, %d KB comm, %d KB io)  bound: %s\n",
+		e.Round, e.Cost.CommTime*1e6, e.Cost.IOTime*1e6,
+		e.Messages, e.IOOps, e.CommBytes>>10, e.IOBytes>>10, e.Binding)
 }

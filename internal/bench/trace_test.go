@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestElide(t *testing.T) {
+	cases := []struct {
+		n, head, elided, tail int
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 0},
+		{5, 5, 0, 0},
+		// n == head+tail+1: showing all 6 rounds beats a marker that
+		// stands in for a single hidden round.
+		{6, 6, 0, 0},
+		{7, 3, 2, 2},
+		{100, 3, 95, 2},
+	}
+	for _, c := range cases {
+		head, elided, tail := elide(c.n)
+		if head != c.head || elided != c.elided || tail != c.tail {
+			t.Errorf("elide(%d) = (%d, %d, %d), want (%d, %d, %d)",
+				c.n, head, elided, tail, c.head, c.elided, c.tail)
+		}
+		if head+elided+tail != c.n {
+			t.Errorf("elide(%d) loses rounds: %d+%d+%d", c.n, head, elided, tail)
+		}
+		if elided == 0 && tail != 0 {
+			t.Errorf("elide(%d): tail %d would overlap the full head", c.n, tail)
+		}
+	}
+}
+
+func TestRoundTraceRendersBinding(t *testing.T) {
+	out, err := RoundTrace(testScale, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bound:") {
+		t.Fatalf("trace lines miss the binding:\n%s", out)
+	}
+	if !strings.Contains(out, "more rounds") && strings.Count(out, "round ") > 12 {
+		t.Fatalf("long trace not elided:\n%s", out)
+	}
+}

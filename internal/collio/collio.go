@@ -21,9 +21,11 @@ package collio
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"mcio/internal/machine"
 	"mcio/internal/mpi"
+	"mcio/internal/obs"
 	"mcio/internal/pfs"
 )
 
@@ -116,6 +118,11 @@ type Context struct {
 	Avail  []int64
 	FS     pfs.Config
 	Params Params
+	// Obs, when non-nil, receives metrics and spans from planning and
+	// execution: planners publish placement decisions, Cost publishes the
+	// per-round timeline and traffic counters, Exec wires the mpi runtime.
+	// Nil disables observability at near-zero cost.
+	Obs *obs.Observer
 }
 
 // Validate reports an error when the context is internally inconsistent.
@@ -248,6 +255,34 @@ func (p *Plan) Validate(reqs []RankRequest) error {
 		}
 	}
 	return nil
+}
+
+// RecordPlanMetrics publishes a plan's shape — group count, domain count,
+// aggregator placement, buffer sizing, paging exposure — into an
+// observer, labelled by strategy so runs comparing strategies on one
+// registry stay separable. Nil-safe; planners call this unconditionally.
+func RecordPlanMetrics(o *obs.Observer, p *Plan) {
+	if o == nil {
+		return
+	}
+	s := obs.L("strategy", p.Strategy)
+	o.Gauge("plan.groups", s).Set(float64(p.Groups))
+	o.Gauge("plan.domains", s).Set(float64(len(p.Domains)))
+	o.Gauge("plan.aggregators", s).Set(float64(len(p.Aggregators())))
+	bufH := o.Histogram("plan.buffer_bytes", s)
+	paged := 0
+	aggsOnNode := map[int]int{}
+	for _, d := range p.Domains {
+		bufH.Observe(float64(d.BufferBytes))
+		aggsOnNode[d.AggNode]++
+		if d.PagedSeverity > 0 {
+			paged++
+		}
+	}
+	o.Gauge("plan.paged_domains", s).Set(float64(paged))
+	for node, n := range aggsOnNode {
+		o.Gauge("plan.aggs_on_node", s, obs.L("node", strconv.Itoa(node))).Set(float64(n))
+	}
 }
 
 // Strategy plans collective operations.

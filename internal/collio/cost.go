@@ -2,7 +2,9 @@ package collio
 
 import (
 	"fmt"
+	"strconv"
 
+	"mcio/internal/obs"
 	"mcio/internal/pfs"
 	"mcio/internal/sim"
 	"mcio/internal/stats"
@@ -38,6 +40,60 @@ type CostResult struct {
 // the metadata exchange, as in ROMIO's flattened offset/length lists.
 const extentListEntryBytes = 16
 
+// costObs carries Cost's rank-level observability wiring: per-rank MPI
+// traffic counters (the engine only sees nodes) and per-domain shuffle
+// counters, pre-resolved so the per-round loop pays one atomic add per
+// update. Nil means disabled.
+type costObs struct {
+	o     *obs.Observer
+	pid   int
+	sentB []*obs.Counter // bytes sent, by world rank
+	sentM []*obs.Counter // messages sent, by world rank
+	recvB []*obs.Counter // bytes received, by world rank
+	recvM []*obs.Counter // messages received, by world rank
+	shuf  []*obs.Counter // shuffle bytes, by domain index
+}
+
+// newCostObs pre-resolves the instruments for one priced operation.
+func newCostObs(ctx *Context, plan *Plan, op Op) *costObs {
+	if ctx.Obs == nil {
+		return nil
+	}
+	co := &costObs{o: ctx.Obs, pid: ctx.Obs.Tracer().PID(plan.Strategy)}
+	base := []obs.Label{obs.L("strategy", plan.Strategy), obs.L("op", op.String())}
+	n := ctx.Topo.Size()
+	co.sentB = make([]*obs.Counter, n)
+	co.sentM = make([]*obs.Counter, n)
+	co.recvB = make([]*obs.Counter, n)
+	co.recvM = make([]*obs.Counter, n)
+	for r := 0; r < n; r++ {
+		labels := append(append([]obs.Label(nil), base...), obs.L("rank", strconv.Itoa(r)))
+		co.sentB[r] = ctx.Obs.Counter("mpi.bytes_sent", labels...)
+		co.sentM[r] = ctx.Obs.Counter("mpi.msgs_sent", labels...)
+		co.recvB[r] = ctx.Obs.Counter("mpi.bytes_recv", labels...)
+		co.recvM[r] = ctx.Obs.Counter("mpi.msgs_recv", labels...)
+	}
+	co.shuf = make([]*obs.Counter, len(plan.Domains))
+	for i, d := range plan.Domains {
+		labels := append(append([]obs.Label(nil), base...),
+			obs.L("group", strconv.Itoa(d.Group)),
+			obs.L("aggregator", strconv.Itoa(d.Aggregator)))
+		co.shuf[i] = ctx.Obs.Counter("collio.shuffle_bytes", labels...)
+	}
+	return co
+}
+
+// transfer accounts one rank-to-rank transfer.
+func (co *costObs) transfer(src, dst int, bytes int64) {
+	if co == nil {
+		return
+	}
+	co.sentB[src].Add(bytes)
+	co.sentM[src].Inc()
+	co.recvB[dst].Add(bytes)
+	co.recvM[dst].Inc()
+}
+
 // Cost prices plan against the context's machine and storage models
 // without moving any data. The same plan and requests always produce the
 // same result.
@@ -55,6 +111,11 @@ func Cost(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options) 
 	eng, err := sim.NewEngine(ctx.Machine, st, opt)
 	if err != nil {
 		return nil, err
+	}
+	co := newCostObs(ctx, plan, op)
+	if co != nil {
+		eng.SetObserver(ctx.Obs, co.pid,
+			obs.L("strategy", plan.Strategy), obs.L("op", op.String()))
 	}
 
 	placements := make([]sim.AggregatorPlacement, len(plan.Domains))
@@ -94,6 +155,7 @@ func Cost(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options) 
 					DstNode: ctx.Topo.NodeOf(a),
 					Bytes:   bytes,
 				})
+				co.transfer(r, a, bytes)
 			}
 		}
 	}
@@ -106,6 +168,7 @@ func Cost(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options) 
 	// is the even approximation). One merge-walk per rank against the
 	// domain index keeps this linear in the total extent count.
 	type contrib struct {
+		rank  int
 		node  int
 		bytes int64
 	}
@@ -127,7 +190,7 @@ func Cost(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options) 
 			node := ctx.Topo.NodeOf(r.Rank)
 			for i, b := range index.OverlapBytes(r.Extents) {
 				if b > 0 {
-					domainContribs[i] = append(domainContribs[i], contrib{node: node, bytes: b})
+					domainContribs[i] = append(domainContribs[i], contrib{rank: r.Rank, node: node, bytes: b})
 				}
 			}
 		}
@@ -152,6 +215,12 @@ func Cost(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options) 
 				m := sim.Message{SrcNode: c.node, DstNode: d.AggNode, Bytes: per}
 				if op == Read {
 					m.SrcNode, m.DstNode = m.DstNode, m.SrcNode
+					co.transfer(d.Aggregator, c.rank, per)
+				} else {
+					co.transfer(c.rank, d.Aggregator, per)
+				}
+				if co != nil {
+					co.shuf[i].Add(per)
 				}
 				round.Messages = append(round.Messages, m)
 			}
@@ -178,6 +247,15 @@ func Cost(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options) 
 	}
 
 	userBytes := plan.TotalBytes()
+	if co != nil {
+		span := ctx.Obs.Tracer().Begin(co.pid, sim.TIDTimeline,
+			plan.Strategy+" "+op.String(), 0,
+			obs.A("groups", strconv.Itoa(plan.Groups)),
+			obs.A("domains", strconv.Itoa(len(plan.Domains))),
+			obs.A("rounds", strconv.Itoa(maxRounds)),
+			obs.A("user_bytes", strconv.FormatInt(userBytes, 10)))
+		span.End(eng.Elapsed())
+	}
 	res := &CostResult{
 		Strategy:  plan.Strategy,
 		Op:        op,

@@ -70,6 +70,7 @@ func Exec(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op Op) erro
 	}
 
 	world := mpi.NewWorld(ctx.Topo)
+	world.SetObserver(ctx.Obs)
 	return world.Run(func(p *mpi.Proc) {
 		me := p.Rank()
 		for i, d := range plan.Domains {

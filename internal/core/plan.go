@@ -6,6 +6,7 @@ import (
 
 	"mcio/internal/collio"
 	"mcio/internal/memmodel"
+	"mcio/internal/obs"
 	"mcio/internal/pfs"
 )
 
@@ -57,7 +58,10 @@ func (s *Strategy) Plan(ctx *collio.Context, reqs []collio.RankRequest) (*collio
 	// Aggregator bookkeeping spans groups: a host's N_ah budget and its
 	// available memory are machine-wide resources.
 	tracker := memmodel.NewTrackerFromAvail(ctx.Avail)
+	tracker.SetObserver(ctx.Obs)
+	memmodel.RecordAvailability(ctx.Obs, ctx.Avail[:ctx.Topo.Nodes()])
 	aggsOnHost := make(map[int]int)
+	strategyLabel := obs.L("strategy", s.Name())
 
 	for _, g := range groups {
 		plan.GroupRanks = append(plan.GroupRanks, g.Ranks)
@@ -65,12 +69,17 @@ func (s *Strategy) Plan(ctx *collio.Context, reqs []collio.RankRequest) (*collio
 		if err != nil {
 			return nil, err
 		}
+		if ctx.Obs != nil {
+			ctx.Obs.Histogram("plan.group_bytes", strategyLabel).Observe(float64(pfs.TotalBytes(g.Extents)))
+			ctx.Obs.Histogram("plan.tree_leaves", strategyLabel).Observe(float64(len(tree.Leaves())))
+		}
 		domains, err := s.placeGroup(ctx, tree, g, normReq, tracker, aggsOnHost)
 		if err != nil {
 			return nil, err
 		}
 		plan.Domains = append(plan.Domains, domains...)
 	}
+	collio.RecordPlanMetrics(ctx.Obs, plan)
 	return plan, nil
 }
 
@@ -151,6 +160,9 @@ func (s *Strategy) placeGroup(
 			// No related host can satisfy Mem_min: merge this portion into
 			// the neighbouring domain and keep inspecting (§3.3).
 			absorber, err := tree.Remerge(leaf)
+			if err == nil {
+				ctx.Obs.Counter("plan.remerges", obs.L("strategy", s.Name())).Inc()
+			}
 			if err != nil {
 				// leaf is the group's only domain: nothing to merge with.
 				// Fall back to the least-bad host — a real system must
@@ -160,6 +172,7 @@ func (s *Strategy) placeGroup(
 				if ferr != nil {
 					return nil, ferr
 				}
+				ctx.Obs.Counter("plan.fallback_placements", obs.L("strategy", s.Name())).Inc()
 				// Memory-conscious to the last: shrink the buffer toward
 				// what the least-bad host still has (more rounds, no
 				// paging) before accepting any over-commit; the shrink is

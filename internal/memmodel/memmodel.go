@@ -13,8 +13,10 @@ package memmodel
 
 import (
 	"fmt"
+	"strconv"
 
 	"mcio/internal/machine"
+	"mcio/internal/obs"
 	"mcio/internal/stats"
 )
 
@@ -115,6 +117,7 @@ type Tracker struct {
 	avail    []int64 // remaining un-reserved memory per node
 	reserved []int64 // total bytes reserved per node
 	overrun  []int64 // bytes reserved beyond initial availability
+	o        *obs.Observer
 }
 
 // NewTracker builds a tracker over the current availability of m's nodes.
@@ -139,6 +142,25 @@ func NewTrackerFromAvail(avail []int64) *Tracker {
 		overrun:  make([]int64, len(avail)),
 	}
 	return t
+}
+
+// SetObserver attaches metrics to the tracker: every reservation that
+// over-commits its node increments
+// memmodel.overcommit_reservations{node} and adds the shortfall to
+// memmodel.overcommit_bytes{node} — the planner-side view of the paging
+// the cost engine will later charge. A nil observer detaches.
+func (t *Tracker) SetObserver(o *obs.Observer) { t.o = o }
+
+// RecordAvailability publishes one availability vector as
+// memmodel.avail_bytes{node} gauges — the per-node samples the paper's
+// run-time aggregator selection inspects. Nil-safe in both arguments.
+func RecordAvailability(o *obs.Observer, avail []int64) {
+	if o == nil {
+		return
+	}
+	for node, v := range avail {
+		o.Gauge("memmodel.avail_bytes", obs.L("node", strconv.Itoa(node))).Set(float64(v))
+	}
 }
 
 // Nodes returns the number of nodes tracked.
@@ -177,6 +199,11 @@ func (t *Tracker) Reserve(node int, bytes int64) bool {
 			over = bytes
 		}
 		t.overrun[node] += over
+		if !fits && t.o != nil {
+			l := obs.L("node", strconv.Itoa(node))
+			t.o.Counter("memmodel.overcommit_reservations", l).Inc()
+			t.o.Counter("memmodel.overcommit_bytes", l).Add(over)
+		}
 	}
 	return fits
 }

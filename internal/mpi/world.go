@@ -2,7 +2,10 @@ package mpi
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+
+	"mcio/internal/obs"
 )
 
 // message is one in-flight point-to-point transfer.
@@ -17,6 +20,15 @@ type message struct {
 type World struct {
 	topo    Topology
 	inboxes []chan message
+
+	// Per-rank traffic counters, pre-resolved at SetObserver time so the
+	// Send/Recv hot path pays one nil check plus atomic adds. All slices
+	// are nil when no observer is attached.
+	sentMsgs  []*obs.Counter
+	sentBytes []*obs.Counter
+	recvMsgs  []*obs.Counter
+	recvBytes []*obs.Counter
+	collCalls map[string]*obs.Counter
 }
 
 // defaultMailboxFactor sizes each rank's mailbox: enough buffering that
@@ -33,6 +45,42 @@ func NewWorld(topo Topology) *World {
 		w.inboxes[i] = make(chan message, capacity)
 	}
 	return w
+}
+
+// SetObserver attaches metrics to the world: per-rank point-to-point
+// traffic (mpi.msgs_sent{rank}, mpi.bytes_sent{rank}, and the recv
+// counterparts) and per-kind collective call counts
+// (mpi.collective_calls{kind}). Counters are shared by all rank
+// goroutines and atomically updated. A nil observer (or one without a
+// registry) leaves the world uninstrumented. Call before Run.
+func (w *World) SetObserver(o *obs.Observer) {
+	if o == nil || o.Metrics == nil {
+		w.sentMsgs, w.sentBytes, w.recvMsgs, w.recvBytes, w.collCalls = nil, nil, nil, nil, nil
+		return
+	}
+	n := w.topo.Size()
+	w.sentMsgs = make([]*obs.Counter, n)
+	w.sentBytes = make([]*obs.Counter, n)
+	w.recvMsgs = make([]*obs.Counter, n)
+	w.recvBytes = make([]*obs.Counter, n)
+	for r := 0; r < n; r++ {
+		l := obs.L("rank", strconv.Itoa(r))
+		w.sentMsgs[r] = o.Counter("mpi.msgs_sent", l)
+		w.sentBytes[r] = o.Counter("mpi.bytes_sent", l)
+		w.recvMsgs[r] = o.Counter("mpi.msgs_recv", l)
+		w.recvBytes[r] = o.Counter("mpi.bytes_recv", l)
+	}
+	w.collCalls = map[string]*obs.Counter{}
+	for _, kind := range []string{"barrier", "bcast", "gather", "allgather", "alltoall", "allreduce"} {
+		w.collCalls[kind] = o.Counter("mpi.collective_calls", obs.L("kind", kind))
+	}
+}
+
+// countCollective bumps the per-kind collective counter when observed.
+func (w *World) countCollective(kind string) {
+	if w.collCalls != nil {
+		w.collCalls[kind].Inc()
+	}
 }
 
 // Proc is one rank's handle onto the world. A Proc is confined to the
@@ -91,6 +139,10 @@ func (p *Proc) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= p.Size() {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
+	if w := p.world; w.sentMsgs != nil {
+		w.sentMsgs[p.rank].Inc()
+		w.sentBytes[p.rank].Add(int64(len(data)))
+	}
 	p.world.inboxes[dst] <- message{src: p.rank, tag: tag, data: data}
 }
 
@@ -103,16 +155,26 @@ func (p *Proc) Recv(src, tag int) []byte {
 	for i, m := range p.pending {
 		if m.src == src && m.tag == tag {
 			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			p.countRecv(m)
 			return m.data
 		}
 	}
 	for m := range p.world.inboxes[p.rank] {
 		if m.src == src && m.tag == tag {
+			p.countRecv(m)
 			return m.data
 		}
 		p.pending = append(p.pending, m)
 	}
 	panic("mpi: world shut down during Recv")
+}
+
+// countRecv accounts a matched message to the receiving rank's counters.
+func (p *Proc) countRecv(m message) {
+	if w := p.world; w.recvMsgs != nil {
+		w.recvMsgs[p.rank].Inc()
+		w.recvBytes[p.rank].Add(int64(len(m.data)))
+	}
 }
 
 // Internal tags for collectives; user code must use tags >= 0.
@@ -126,6 +188,7 @@ const (
 
 // Barrier blocks until every rank has entered it.
 func (p *Proc) Barrier() {
+	p.world.countCollective("barrier")
 	// Linear: everyone checks in with rank 0, rank 0 releases everyone.
 	if p.rank == 0 {
 		for r := 1; r < p.Size(); r++ {
@@ -143,6 +206,7 @@ func (p *Proc) Barrier() {
 // Bcast distributes root's data to every rank and returns it. Non-root
 // callers may pass nil.
 func (p *Proc) Bcast(root int, data []byte) []byte {
+	p.world.countCollective("bcast")
 	if p.rank == root {
 		for r := 0; r < p.Size(); r++ {
 			if r != root {
@@ -158,6 +222,7 @@ func (p *Proc) Bcast(root int, data []byte) []byte {
 // entry per rank (root's own contribution included, by rank order); other
 // ranks get nil.
 func (p *Proc) Gather(root int, data []byte) [][]byte {
+	p.world.countCollective("gather")
 	if p.rank == root {
 		out := make([][]byte, p.Size())
 		out[root] = data
@@ -175,6 +240,7 @@ func (p *Proc) Gather(root int, data []byte) [][]byte {
 // Allgather collects each rank's data everywhere: the result always holds
 // one entry per rank, in rank order.
 func (p *Proc) Allgather(data []byte) [][]byte {
+	p.world.countCollective("allgather")
 	gathered := p.Gather(0, data)
 	if p.rank == 0 {
 		for r := 1; r < p.Size(); r++ {
@@ -194,6 +260,7 @@ func (p *Proc) Allgather(data []byte) [][]byte {
 // Alltoall delivers send[i] to rank i and returns what every rank sent to
 // this one, in rank order. Entries may be nil/empty.
 func (p *Proc) Alltoall(send [][]byte) [][]byte {
+	p.world.countCollective("alltoall")
 	if len(send) != p.Size() {
 		panic(fmt.Sprintf("mpi: Alltoall with %d buffers for %d ranks", len(send), p.Size()))
 	}
@@ -210,6 +277,7 @@ func (p *Proc) Alltoall(send [][]byte) [][]byte {
 // AllreduceInt64 combines one int64 per rank with op and returns the
 // result everywhere. Op must be associative and commutative.
 func (p *Proc) AllreduceInt64(x int64, op func(a, b int64) int64) int64 {
+	p.world.countCollective("allreduce")
 	buf := make([]byte, 8)
 	putInt64(buf, x)
 	if p.rank == 0 {

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracer builds a small fixed trace shaped like a real run: two
+// strategy processes, op/round/phase nesting, named tracks.
+func goldenTracer() *Tracer {
+	tr := NewTracer()
+	tp := tr.PID("two-phase")
+	mc := tr.PID("memory-conscious")
+	tr.SetThreadName(tp, 1, "rounds")
+	tr.SetThreadName(mc, 1, "rounds")
+	tr.SetThreadName(tp, 200, "ost 0 io")
+
+	op := tr.Begin(tp, 1, "two-phase write", 0, A("rounds", "2"))
+	r0 := tr.Begin(tp, 1, "round 0", 0, A("bound", "comm node 1 (nic-out)"))
+	tr.Begin(tp, 1, "comm", 0).End(0.0015)
+	tr.Begin(tp, 200, "io", 0.0015).End(0.0035)
+	r0.End(0.0035)
+	r1 := tr.Begin(tp, 1, "round 1", 0.0035)
+	r1.Attr("bound", "io ost 0")
+	r1.End(0.007)
+	op.End(0.007)
+
+	tr.Begin(mc, 1, "memory-conscious write", 0, A("rounds", "1")).End(0.004)
+	tr.Begin(mc, 1, "round 0", 0).End(0.004)
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTracer()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceWellFormed checks the structural contract on a
+// larger trace: parses as JSON, metadata first, complete events with
+// monotonically non-decreasing ts, non-negative durations.
+func TestChromeTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTracer()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	seenX := false
+	lastTs := -1.0
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if seenX {
+				t.Fatalf("metadata event %d after complete events", i)
+			}
+		case "X":
+			seenX = true
+			if e.Ts < lastTs {
+				t.Fatalf("event %d ts %v < previous %v: not monotonic", i, e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+			if e.Dur < 0 {
+				t.Fatalf("event %d has negative dur %v", i, e.Dur)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if !seenX {
+		t.Fatal("no complete events emitted")
+	}
+}
+
+func TestMetricsExports(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mpi.bytes_sent", L("rank", "0")).Add(1024)
+	r.Gauge("plan.groups", L("strategy", "two-phase")).Set(1)
+	r.Histogram("sim.round_seconds").Observe(0.25)
+
+	var js bytes.Buffer
+	if err := WriteMetricsJSON(&js, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	if len(doc.Metrics) != 3 {
+		t.Fatalf("got %d metric points, want 3", len(doc.Metrics))
+	}
+
+	var cs bytes.Buffer
+	if err := WriteMetricsCSV(&cs, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(cs.Bytes()), []byte("\n"))
+	if len(lines) != 4 { // header + 3 points
+		t.Fatalf("got %d CSV lines, want 4:\n%s", len(lines), cs.Bytes())
+	}
+	if want := "name,labels,type,value,count,sum,min,max"; string(lines[0]) != want {
+		t.Fatalf("CSV header = %q, want %q", lines[0], want)
+	}
+}
+
+func TestFormatMicros(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1:       "1000000",
+		0.0015:  "1500",
+		1.25e-6: "1.25",
+	}
+	for in, want := range cases {
+		if got := formatMicros(in); got != want {
+			t.Errorf("formatMicros(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

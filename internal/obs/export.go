@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteChromeTrace serializes the tracer's spans as Chrome trace-event
+// JSON (the "JSON Array Format" Perfetto and chrome://tracing load).
+// Events are hand-serialized so field order is stable and golden-testable:
+// metadata events (process/thread names) first, then complete events
+// sorted by timestamp — monotonic ts, parents before children. Timestamps
+// are microseconds on the emitting clock (the simulator's simulated time).
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	bw := &errWriter{w: w}
+	bw.writeString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			bw.writeString(",\n")
+		} else {
+			bw.writeString("\n")
+		}
+		first = false
+	}
+	if t != nil {
+		for _, p := range t.processes() {
+			sep()
+			bw.writeString(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+				p.pid, jsonString(p.name)))
+		}
+		for _, th := range t.threadNames() {
+			sep()
+			bw.writeString(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				th.pid, th.tid, jsonString(th.name)))
+		}
+		for _, s := range t.Spans() {
+			sep()
+			bw.writeString(`{"name":` + jsonString(s.Name))
+			bw.writeString(`,"ph":"X","ts":` + formatMicros(s.Start))
+			bw.writeString(`,"dur":` + formatMicros(s.Dur))
+			bw.writeString(`,"pid":` + strconv.Itoa(s.PID))
+			bw.writeString(`,"tid":` + strconv.Itoa(s.TID))
+			if len(s.Attrs) > 0 {
+				bw.writeString(`,"args":{`)
+				for i, a := range s.Attrs {
+					if i > 0 {
+						bw.writeString(",")
+					}
+					bw.writeString(jsonString(a.Key) + ":" + jsonString(a.Value))
+				}
+				bw.writeString("}")
+			}
+			bw.writeString("}")
+		}
+	}
+	bw.writeString("\n]}\n")
+	return bw.err
+}
+
+// formatMicros renders seconds as a microsecond decimal with stable,
+// locale-free formatting (3 fractional digits = nanosecond resolution).
+func formatMicros(seconds float64) string {
+	s := strconv.FormatFloat(seconds*1e6, 'f', 3, 64)
+	// Trim trailing zeros but keep integers bare for compactness.
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimSuffix(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s) // cannot fail for a string
+	return string(b)
+}
+
+// errWriter folds write errors so export code stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) writeString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+// metricsSnapshot is the JSON envelope of a metrics export.
+type metricsSnapshot struct {
+	Metrics []MetricPoint `json:"metrics"`
+}
+
+// WriteMetricsJSON serializes the registry snapshot as indented JSON with
+// deterministic ordering (points sorted by name/labels; label maps
+// marshal with sorted keys).
+func WriteMetricsJSON(w io.Writer, r *Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(metricsSnapshot{Metrics: r.Snapshot()})
+}
+
+// WriteMetricsCSV serializes the registry snapshot as CSV with the
+// columns name,labels,type,value,count,sum,min,max.
+func WriteMetricsCSV(w io.Writer, r *Registry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "labels", "type", "value", "count", "sum", "min", "max"}); err != nil {
+		return err
+	}
+	for _, p := range r.Snapshot() {
+		value := strconv.FormatFloat(p.Value, 'g', -1, 64)
+		if p.Type == "counter" {
+			value = strconv.FormatInt(int64(p.Value), 10)
+		}
+		rec := []string{
+			p.Name,
+			labelsOf(p),
+			p.Type,
+			value,
+			strconv.FormatInt(p.Count, 10),
+			strconv.FormatFloat(p.Sum, 'g', -1, 64),
+			strconv.FormatFloat(p.Min, 'g', -1, 64),
+			strconv.FormatFloat(p.Max, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,84 @@
+// Package obs is the observability layer of the collective-I/O stack: a
+// metrics registry (counters, gauges, histograms with labels) and a
+// span-based structured tracer, plus exporters for Chrome/Perfetto
+// trace-event JSON and metrics snapshots (JSON/CSV).
+//
+// The package has no dependencies on the rest of the repository, so every
+// layer — the goroutine-per-rank mpi runtime, the pfs file store, the
+// planners and the cost engine — can publish into it without import
+// cycles.
+//
+// Design constraints, in order:
+//
+//  1. Cheap enough to stay enabled. Counters and gauges are single atomic
+//     words; histograms are fixed arrays of atomic buckets; the tracer
+//     appends to sharded, mutex-protected sinks. Instrument lookup (which
+//     builds a label key) is meant for setup time — hot paths pre-resolve
+//     instruments once and then pay only the atomic operation.
+//  2. A nil fast path. Every method is safe on a nil receiver and costs a
+//     branch: a nil *Registry returns nil instruments, a nil *Counter
+//     drops the Add, a nil *Tracer drops the span. Code can therefore be
+//     instrumented unconditionally and wired to a sink only when a caller
+//     asks for observability.
+//  3. Safe for concurrent use. The mpi runtime runs one goroutine per
+//     rank; all sinks accept concurrent writers.
+//
+// Time is explicit. The simulator owns a simulated clock, so spans take
+// their timestamps as arguments (seconds, converted to microseconds on
+// export) instead of reading a wall clock.
+package obs
+
+// Label is one key=value dimension attached to a metric.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Observer bundles the two sinks a component may publish into. Either
+// field (or the Observer itself) may be nil; all publishing paths treat
+// nil as "disabled".
+type Observer struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// New returns an Observer with a fresh registry and tracer.
+func New() *Observer {
+	return &Observer{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+// Counter resolves a counter on the observer's registry; nil-safe.
+func (o *Observer) Counter(name string, labels ...Label) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name, labels...)
+}
+
+// Gauge resolves a gauge on the observer's registry; nil-safe.
+func (o *Observer) Gauge(name string, labels ...Label) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name, labels...)
+}
+
+// Histogram resolves a histogram on the observer's registry; nil-safe.
+func (o *Observer) Histogram(name string, labels ...Label) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name, labels...)
+}
+
+// Tracer returns the observer's tracer; nil-safe (returns nil when
+// disabled, and a nil *Tracer is itself a valid no-op sink).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPIDRegistration(t *testing.T) {
+	tr := NewTracer()
+	a := tr.PID("two-phase")
+	b := tr.PID("memory-conscious")
+	if a != 1 || b != 2 {
+		t.Fatalf("pids = %d, %d; want 1, 2", a, b)
+	}
+	if tr.PID("two-phase") != a {
+		t.Fatal("re-registration changed the pid")
+	}
+}
+
+func TestSpansSorted(t *testing.T) {
+	tr := NewTracer()
+	// Emit out of order; a parent (longer) and child at the same start.
+	tr.Emit(Span{PID: 1, TID: 1, Name: "child", Start: 2, Dur: 1})
+	tr.Emit(Span{PID: 1, TID: 1, Name: "late", Start: 5, Dur: 1})
+	tr.Emit(Span{PID: 1, TID: 1, Name: "parent", Start: 2, Dur: 3})
+	tr.Emit(Span{PID: 1, TID: 1, Name: "early", Start: 0, Dur: 1})
+	got := tr.Spans()
+	want := []string{"early", "parent", "child", "late"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(got), len(want))
+	}
+	for i, s := range got {
+		if s.Name != want[i] {
+			t.Fatalf("span %d = %q, want %q", i, s.Name, want[i])
+		}
+	}
+}
+
+func TestBeginEnd(t *testing.T) {
+	tr := NewTracer()
+	ref := tr.Begin(1, 1, "round 0", 1.5, A("k", "v"))
+	ref.Attr("k2", "v2")
+	ref.End(2.0)
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Start != 1.5 || s.Dur != 0.5 {
+		t.Fatalf("span [%v, +%v], want [1.5, +0.5]", s.Start, s.Dur)
+	}
+	if len(s.Attrs) != 2 || s.Attrs[0].Key != "k" || s.Attrs[1].Key != "k2" {
+		t.Fatalf("attrs = %v", s.Attrs)
+	}
+	// End before start clamps to zero duration.
+	tr.Begin(1, 1, "backwards", 3).End(2)
+	for _, s := range tr.Spans() {
+		if s.Name == "backwards" && s.Dur != 0 {
+			t.Fatalf("backwards span has dur %v, want 0", s.Dur)
+		}
+	}
+}
+
+// TestTracerConcurrency emits from many goroutines across tracks; under
+// -race this proves the sharded sink is safe.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer()
+	const workers = 8
+	const spans = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pid := tr.PID(fmt.Sprintf("proc-%d", w%3))
+			for i := 0; i < spans; i++ {
+				tr.Begin(pid, w, "work", float64(i)).End(float64(i) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != workers*spans {
+		t.Fatalf("got %d spans, want %d", got, workers*spans)
+	}
+}

@@ -13,7 +13,10 @@ package pfs
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+
+	"mcio/internal/obs"
 )
 
 // Config describes the file system layout and the performance of its
@@ -70,6 +73,12 @@ type FileSystem struct {
 	stats *TargetStats
 	mu    sync.Mutex
 	files map[string]*File
+
+	// Per-target observability counters, pre-resolved at SetObserver time;
+	// nil when uninstrumented. Concurrent aggregator writers share them.
+	obsWritten []*obs.Counter
+	obsRead    []*obs.Counter
+	obsReqs    []*obs.Counter
 }
 
 // NewFileSystem creates an empty file system with the given layout.
@@ -89,6 +98,41 @@ func (fs *FileSystem) Config() Config { return fs.cfg }
 
 // Stats returns the per-target traffic counters.
 func (fs *FileSystem) Stats() *TargetStats { return fs.stats }
+
+// SetObserver attaches per-OST metrics to the file system:
+// pfs.bytes_written{ost}, pfs.bytes_read{ost}, and pfs.requests{ost}
+// (one request per contiguous object access). A nil observer detaches.
+// Call before issuing I/O; counters are safe for concurrent writers.
+func (fs *FileSystem) SetObserver(o *obs.Observer) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if o == nil || o.Metrics == nil {
+		fs.obsWritten, fs.obsRead, fs.obsReqs = nil, nil, nil
+		return
+	}
+	fs.obsWritten = make([]*obs.Counter, fs.cfg.Targets)
+	fs.obsRead = make([]*obs.Counter, fs.cfg.Targets)
+	fs.obsReqs = make([]*obs.Counter, fs.cfg.Targets)
+	for t := 0; t < fs.cfg.Targets; t++ {
+		l := obs.L("ost", strconv.Itoa(t))
+		fs.obsWritten[t] = o.Counter("pfs.bytes_written", l)
+		fs.obsRead[t] = o.Counter("pfs.bytes_read", l)
+		fs.obsReqs[t] = o.Counter("pfs.requests", l)
+	}
+}
+
+// observe accounts one object access on a file-system target.
+func (fs *FileSystem) observe(target int, bytes int64, write bool) {
+	if fs.obsReqs == nil {
+		return
+	}
+	fs.obsReqs[target].Inc()
+	if write {
+		fs.obsWritten[target].Add(bytes)
+	} else {
+		fs.obsRead[target].Add(bytes)
+	}
+}
 
 // Open returns the named file, creating it empty with the file system's
 // default striping if absent.
@@ -184,7 +228,9 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 			f.objects[target] = obj
 		}
 		copy(obj[objOff:objOff+int64(n)], p[pos:pos+n])
-		f.fs.stats.RecordWrite(f.layout.mapTarget(f.fs.cfg, target), int64(n))
+		fsTarget := f.layout.mapTarget(f.fs.cfg, target)
+		f.fs.stats.RecordWrite(fsTarget, int64(n))
+		f.fs.observe(fsTarget, int64(n), true)
 		pos += n
 	}
 	if end := off + int64(len(p)); end > f.size {
@@ -214,7 +260,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		if rem := len(p) - pos; n > rem {
 			n = rem
 		}
-		f.fs.stats.RecordRead(f.layout.mapTarget(f.fs.cfg, target), int64(n))
+		fsTarget := f.layout.mapTarget(f.fs.cfg, target)
+		f.fs.stats.RecordRead(fsTarget, int64(n))
+		f.fs.observe(fsTarget, int64(n), false)
 		obj := f.objects[target]
 		have := int64(len(obj)) - objOff // stored bytes available at objOff
 		if have > int64(n) {

@@ -24,8 +24,11 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
 
 	"mcio/internal/machine"
+	"mcio/internal/obs"
 )
 
 // StorageParams prices accesses to the parallel-file-system targets.
@@ -176,6 +179,52 @@ type Totals struct {
 	PerNodeShuffle map[int]int64
 }
 
+// Comm-phase binding resources for Binding.CommResource.
+const (
+	BindNICOut  = "nic-out"
+	BindNICIn   = "nic-in"
+	BindMem     = "mem"
+	BindLatency = "latency"
+)
+
+// Binding identifies the resources that bounded one round: the node whose
+// communication load set the comm-phase time (and which of its resources
+// dominated), and the storage target that set the I/O-phase time.
+type Binding struct {
+	// CommNode is the node with the largest communication time, -1 when
+	// the round moved no data.
+	CommNode int
+	// CommResource is what bound CommNode: BindNICOut, BindNICIn, BindMem
+	// or BindLatency (per-message latency exceeding every byte-stream
+	// term). Empty when CommNode is -1.
+	CommResource string
+	// IOTarget is the storage target with the largest I/O time, -1 when
+	// the round issued no I/O.
+	IOTarget int
+	// CommBound reports whether the comm phase (rather than I/O) set the
+	// round's critical path. With overlapped phases it marks the larger
+	// phase; without overlap both phases contribute and it marks the
+	// larger contributor.
+	CommBound bool
+}
+
+// String renders the binding compactly for trace views, e.g.
+// "comm node 3 (mem)" or "io ost 5".
+func (b Binding) String() string {
+	comm := "idle"
+	if b.CommNode >= 0 {
+		comm = fmt.Sprintf("node %d (%s)", b.CommNode, b.CommResource)
+	}
+	io := "idle"
+	if b.IOTarget >= 0 {
+		io = fmt.Sprintf("ost %d", b.IOTarget)
+	}
+	if b.CommBound {
+		return "comm " + comm + " | io " + io
+	}
+	return "io " + io + " | comm " + comm
+}
+
 // TraceEntry is one round's record when tracing is enabled.
 type TraceEntry struct {
 	Round     int
@@ -184,6 +233,8 @@ type TraceEntry struct {
 	IOOps     int
 	CommBytes int64
 	IOBytes   int64
+	// Binding is the round's bottleneck attribution.
+	Binding Binding
 }
 
 // Engine prices rounds against a machine design point and storage
@@ -196,6 +247,91 @@ type Engine struct {
 	paged   map[int]float64 // node -> worst paging severity present
 	totals  Totals
 	trace   []TraceEntry
+	eo      *engineObs
+}
+
+// Track id conventions for engine-emitted spans. Tid 1 holds the
+// op/round/phase timeline (spans nest by containment); per-node shuffle
+// work and per-target storage work get one track each so the Perfetto
+// view shows exactly which resource was busy when.
+const (
+	TIDTimeline = 1
+	tidNodeBase = 100
+	tidOSTBase  = 200
+)
+
+// engineObs carries the engine's observability wiring: the sinks, the
+// process track, base labels (e.g. strategy), and per-index instrument
+// caches so the per-round hot path pays atomic updates, not lookups.
+type engineObs struct {
+	o    *obs.Observer
+	pid  int
+	base []obs.Label
+	tids map[int]bool // tids already named
+	cs   map[string]*obs.Counter
+	hs   map[string]*obs.Histogram
+}
+
+// counter resolves (and caches) a counter with the base labels plus one
+// indexed label like ost=3 or node=7; an empty labelKey means base labels
+// only.
+func (eo *engineObs) counter(metric, labelKey string, idx int) *obs.Counter {
+	k := metric + "\x00" + strconv.Itoa(idx)
+	if c, ok := eo.cs[k]; ok {
+		return c
+	}
+	labels := append([]obs.Label(nil), eo.base...)
+	if labelKey != "" {
+		labels = append(labels, obs.L(labelKey, strconv.Itoa(idx)))
+	}
+	c := eo.o.Counter(metric, labels...)
+	eo.cs[k] = c
+	return c
+}
+
+// histogram is counter's histogram counterpart; an empty labelKey means
+// base labels only.
+func (eo *engineObs) histogram(metric, labelKey string, idx int) *obs.Histogram {
+	k := metric + "\x00" + strconv.Itoa(idx)
+	if h, ok := eo.hs[k]; ok {
+		return h
+	}
+	labels := append([]obs.Label(nil), eo.base...)
+	if labelKey != "" {
+		labels = append(labels, obs.L(labelKey, strconv.Itoa(idx)))
+	}
+	h := eo.o.Histogram(metric, labels...)
+	eo.hs[k] = h
+	return h
+}
+
+// nameTID lazily names a thread track once.
+func (eo *engineObs) nameTID(tid int, name string) {
+	if eo.tids[tid] {
+		return
+	}
+	eo.tids[tid] = true
+	eo.o.Tracer().SetThreadName(eo.pid, tid, name)
+}
+
+// SetObserver attaches observability sinks to the engine. Spans are
+// emitted on process track pid with simulated-time timestamps; metrics
+// carry the base labels (typically the strategy name) plus a per-node or
+// per-target label. A nil observer detaches.
+func (e *Engine) SetObserver(o *obs.Observer, pid int, base ...obs.Label) {
+	if o == nil {
+		e.eo = nil
+		return
+	}
+	e.eo = &engineObs{
+		o:    o,
+		pid:  pid,
+		base: base,
+		tids: map[int]bool{},
+		cs:   map[string]*obs.Counter{},
+		hs:   map[string]*obs.Histogram{},
+	}
+	e.eo.nameTID(TIDTimeline, "rounds")
 }
 
 // NewEngine builds an engine. The machine config, storage parameters and
@@ -238,6 +374,16 @@ func (e *Engine) SetAggregators(aggs []AggregatorPlacement) {
 		if s > e.paged[a.Node] {
 			e.paged[a.Node] = s
 		}
+		if eo := e.eo; eo != nil {
+			eo.counter("sim.aggregators", "node", a.Node).Inc()
+			// Resolve the paging counter even at zero severity so every
+			// aggregator node reports the family (value 0 = no paging).
+			paging := eo.counter("memmodel.paging_events", "node", a.Node)
+			if s > 0 {
+				paging.Inc()
+				eo.counter("memmodel.paged_bytes", "node", a.Node).Add(int64(s * float64(a.BufferBytes)))
+			}
+		}
 	}
 }
 
@@ -266,13 +412,23 @@ func (e *Engine) effMemBW(node int) float64 {
 	return bw
 }
 
+// nodeLoad accumulates one node's traffic within a round.
+type nodeLoad struct {
+	in, out int64 // NIC bytes
+	mem     int64 // DRAM bytes
+	msgs    int
+}
+
+// targetLoad accumulates one storage target's work within a round.
+type targetLoad struct {
+	time     float64
+	bytes    int64
+	requests int
+	seek     int64 // bytes of noncontiguous accesses
+}
+
 // RunRound prices one round and accumulates it into the totals.
 func (e *Engine) RunRound(r Round) RoundCost {
-	type nodeLoad struct {
-		in, out int64 // NIC bytes
-		mem     int64 // DRAM bytes
-		msgs    int
-	}
 	loads := map[int]*nodeLoad{}
 	load := func(n int) *nodeLoad {
 		l := loads[n]
@@ -311,7 +467,7 @@ func (e *Engine) RunRound(r Round) RoundCost {
 	}
 
 	// Storage accesses also traverse the issuing node's NIC and DRAM.
-	targetTime := make(map[int]float64)
+	targets := map[int]*targetLoad{}
 	for _, op := range r.IOOps {
 		if op.Bytes < 0 {
 			panic("sim: negative I/O size")
@@ -339,32 +495,83 @@ func (e *Engine) RunRound(r Round) RoundCost {
 		if !op.Contiguous {
 			stream *= e.st.NoncontigFactor
 		}
+		tl := targets[op.Target]
+		if tl == nil {
+			tl = &targetLoad{}
+			targets[op.Target] = tl
+		}
 		// A paged issuing node drains/fills its aggregation buffer at
 		// paged speed, throttling the storage access it drives.
-		targetTime[op.Target] += (e.st.ReqOverhead*float64(op.Requests) + stream) * e.pagedSlowdown(op.Node)
+		tl.time += (e.st.ReqOverhead*float64(op.Requests) + stream) * e.pagedSlowdown(op.Node)
+		tl.bytes += op.Bytes
+		tl.requests += op.Requests
+		if !op.Contiguous {
+			tl.seek += op.Bytes
+		}
+		if eo := e.eo; eo != nil {
+			metric := "pfs.bytes_read"
+			if op.Write {
+				metric = "pfs.bytes_written"
+			}
+			eo.counter(metric, "ost", op.Target).Add(op.Bytes)
+			eo.counter("pfs.requests", "ost", op.Target).Add(int64(op.Requests))
+			if op.Contiguous {
+				eo.counter("pfs.stream_bytes", "ost", op.Target).Add(op.Bytes)
+			} else {
+				eo.counter("pfs.noncontig_bytes", "ost", op.Target).Add(op.Bytes)
+			}
+		}
 	}
 
+	// Node iteration is sorted so bottleneck ties and emitted spans are
+	// deterministic run to run.
+	nodeIDs := make([]int, 0, len(loads))
+	for n := range loads {
+		nodeIDs = append(nodeIDs, n)
+	}
+	sort.Ints(nodeIDs)
+	targetIDs := make([]int, 0, len(targets))
+	for t := range targets {
+		targetIDs = append(targetIDs, t)
+	}
+	sort.Ints(targetIDs)
+
+	binding := Binding{CommNode: -1, IOTarget: -1}
 	var comm float64
-	for n, l := range loads {
+	nodeTime := make([]float64, len(nodeIDs))
+	for i, n := range nodeIDs {
+		l := loads[n]
 		slow := e.pagedSlowdown(n)
-		t := float64(l.out) / e.mc.NICBandwidth * slow
-		if tin := float64(l.in) / e.mc.NICBandwidth * slow; tin > t {
-			t = tin
+		tout := float64(l.out) / e.mc.NICBandwidth * slow
+		tin := float64(l.in) / e.mc.NICBandwidth * slow
+		tm := float64(l.mem) / e.effMemBW(n)
+		tlat := float64(l.msgs) * e.mc.NetLatency
+		t := tout
+		res := BindNICOut
+		if tin > t {
+			t, res = tin, BindNICIn
 		}
-		if tm := float64(l.mem) / e.effMemBW(n); tm > t {
-			t = tm
+		if tm > t {
+			t, res = tm, BindMem
 		}
-		t += float64(l.msgs) * e.mc.NetLatency
+		if tlat > t {
+			res = BindLatency
+		}
+		t += tlat
+		nodeTime[i] = t
 		if t > comm {
 			comm = t
+			binding.CommNode, binding.CommResource = n, res
 		}
 	}
 	var io float64
-	for _, t := range targetTime {
-		if t > io {
-			io = t
+	for _, t := range targetIDs {
+		if tt := targets[t].time; tt > io {
+			io = tt
+			binding.IOTarget = t
 		}
 	}
+	binding.CommBound = comm >= io
 
 	rc := RoundCost{CommTime: comm, IOTime: io}
 	if e.opt.Overlap {
@@ -372,21 +579,120 @@ func (e *Engine) RunRound(r Round) RoundCost {
 	} else {
 		rc.Time = comm + io
 	}
+
+	start := e.totals.Time
+	round := e.totals.Rounds
 	e.totals.Rounds++
 	e.totals.CommTime += comm
 	e.totals.IOTime += io
 	e.totals.Time += rc.Time
+
+	var commBytes, ioBytes int64
+	for _, m := range r.Messages {
+		commBytes += m.Bytes
+	}
+	for _, op := range r.IOOps {
+		ioBytes += op.Bytes
+	}
 	if e.opt.Trace {
-		entry := TraceEntry{Round: e.totals.Rounds - 1, Cost: rc, Messages: len(r.Messages), IOOps: len(r.IOOps)}
-		for _, m := range r.Messages {
-			entry.CommBytes += m.Bytes
-		}
-		for _, op := range r.IOOps {
-			entry.IOBytes += op.Bytes
-		}
-		e.trace = append(e.trace, entry)
+		e.trace = append(e.trace, TraceEntry{
+			Round:     round,
+			Cost:      rc,
+			Messages:  len(r.Messages),
+			IOOps:     len(r.IOOps),
+			CommBytes: commBytes,
+			IOBytes:   ioBytes,
+			Binding:   binding,
+		})
+	}
+	if eo := e.eo; eo != nil {
+		eo.emitRound(round, start, rc, e.opt.Overlap, binding, nodeIDs, nodeTime, loads, targetIDs, targets, commBytes, ioBytes)
 	}
 	return rc
+}
+
+// emitRound publishes one round's spans and counters: the round and its
+// comm/io phases on the timeline track, per-node shuffle spans, and
+// per-target storage spans, all at simulated time.
+func (eo *engineObs) emitRound(
+	round int,
+	start float64,
+	rc RoundCost,
+	overlap bool,
+	binding Binding,
+	nodeIDs []int,
+	nodeTime []float64,
+	loads map[int]*nodeLoad,
+	targetIDs []int,
+	targets map[int]*targetLoad,
+	commBytes, ioBytes int64,
+) {
+	eo.counter("sim.rounds", "", 0).Inc()
+	eo.counter("sim.shuffle_bytes", "", 0).Add(commBytes)
+	eo.counter("sim.io_bytes", "", 0).Add(ioBytes)
+	eo.histogram("sim.round_seconds", "", 0).Observe(rc.Time)
+	for i, n := range nodeIDs {
+		l := loads[n]
+		eo.counter("net.bytes_out", "node", n).Add(l.out)
+		eo.counter("net.bytes_in", "node", n).Add(l.in)
+		eo.counter("net.mem_bytes", "node", n).Add(l.mem)
+		eo.counter("net.msgs", "node", n).Add(int64(l.msgs))
+		eo.histogram("net.node_seconds", "node", n).Observe(nodeTime[i])
+	}
+	for _, t := range targetIDs {
+		tl := targets[t]
+		eo.histogram("pfs.queue_depth", "ost", t).Observe(float64(tl.requests))
+		eo.histogram("pfs.target_seconds", "ost", t).Observe(tl.time)
+	}
+
+	tr := eo.o.Tracer()
+	if tr == nil {
+		return
+	}
+	roundSpan := tr.Begin(eo.pid, TIDTimeline, fmt.Sprintf("round %d", round), start,
+		obs.A("binding", binding.String()),
+		obs.A("comm_bytes", strconv.FormatInt(commBytes, 10)),
+		obs.A("io_bytes", strconv.FormatInt(ioBytes, 10)))
+	roundSpan.End(start + rc.Time)
+	commStart, ioStart := start, start+rc.CommTime
+	if overlap {
+		ioStart = start
+	}
+	if rc.CommTime > 0 {
+		span := tr.Begin(eo.pid, TIDTimeline, "comm", commStart,
+			obs.A("bound_by", fmt.Sprintf("node %d (%s)", binding.CommNode, binding.CommResource)))
+		span.End(commStart + rc.CommTime)
+	}
+	if rc.IOTime > 0 {
+		span := tr.Begin(eo.pid, TIDTimeline, "io", ioStart,
+			obs.A("bound_by", fmt.Sprintf("ost %d", binding.IOTarget)))
+		span.End(ioStart + rc.IOTime)
+	}
+	for i, n := range nodeIDs {
+		if nodeTime[i] <= 0 {
+			continue
+		}
+		l := loads[n]
+		eo.nameTID(tidNodeBase+n, fmt.Sprintf("node %d shuffle", n))
+		span := tr.Begin(eo.pid, tidNodeBase+n, "shuffle", commStart,
+			obs.A("out_bytes", strconv.FormatInt(l.out, 10)),
+			obs.A("in_bytes", strconv.FormatInt(l.in, 10)),
+			obs.A("mem_bytes", strconv.FormatInt(l.mem, 10)),
+			obs.A("msgs", strconv.Itoa(l.msgs)))
+		span.End(commStart + nodeTime[i])
+	}
+	for _, t := range targetIDs {
+		tl := targets[t]
+		if tl.time <= 0 {
+			continue
+		}
+		eo.nameTID(tidOSTBase+t, fmt.Sprintf("ost %d", t))
+		span := tr.Begin(eo.pid, tidOSTBase+t, "io", ioStart,
+			obs.A("bytes", strconv.FormatInt(tl.bytes, 10)),
+			obs.A("requests", strconv.Itoa(tl.requests)),
+			obs.A("seek_bytes", strconv.FormatInt(tl.seek, 10)))
+		span.End(ioStart + tl.time)
+	}
 }
 
 // Trace returns the per-round records collected so far; empty unless

@@ -54,6 +54,7 @@ func (s *Strategy) Plan(ctx *collio.Context, reqs []collio.RankRequest) (*collio
 	norm := pfs.NormalizeExtents(all)
 	plan := &collio.Plan{Strategy: s.Name(), Groups: 1, GroupRanks: [][]int{ranksWithData}}
 	if len(norm) == 0 {
+		collio.RecordPlanMetrics(ctx.Obs, plan)
 		return plan, nil
 	}
 
@@ -104,5 +105,6 @@ func (s *Strategy) Plan(ctx *collio.Context, reqs []collio.RankRequest) (*collio
 			PagedSeverity: severity,
 		})
 	}
+	collio.RecordPlanMetrics(ctx.Obs, plan)
 	return plan, nil
 }
