@@ -10,17 +10,20 @@
 //	mcio -exp fig8                  # IOR at 1080 cores (Figure 8)
 //	mcio -exp fig2|fig4|fig5        # illustrative traces of the mechanisms
 //	mcio -exp ablation              # design-choice ablations
+//	mcio -exp faults                # resilience under injected faults
 //	mcio -exp all                   # everything above
 //
 // The observe subcommand runs one figure workload with full
 // observability and exports a Chrome/Perfetto trace (simulated time) and
-// a metrics snapshot:
+// a metrics snapshot; -faults adds seeded fault injection to the run:
 //
 //	mcio observe fig7 -trace-out trace.json -metrics-out metrics.json
+//	mcio observe fig7 -faults 2 -trace-out faulted.json
 //
 // -scale divides every byte quantity (1 = paper-exact sizes, slower);
-// -seed drives the availability variance; -details adds per-point
-// aggregator accounting to figure output.
+// -seed drives the availability variance and every fault schedule —
+// the same seed reproduces a faulted run byte for byte; -details adds
+// per-point aggregator accounting to figure output.
 package main
 
 import (
@@ -54,6 +57,7 @@ func observe(args []string) error {
 	seed := fs.Uint64("seed", 42, "seed for the availability variance")
 	mem := fs.Int("mem", 16, "paper-scale mean memory per aggregator, MB")
 	opName := fs.String("op", "write", "collective direction: write or read")
+	faultRate := fs.Float64("faults", 0, "fault-rate multiplier; > 0 injects seeded faults (crashes, collapses, OST errors) into the run")
 	traceOut := fs.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file here")
 	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot here (.csv extension selects CSV, otherwise JSON)")
 	figure := "fig7"
@@ -73,7 +77,19 @@ func observe(args []string) error {
 	default:
 		return fmt.Errorf("unknown op %q (want write or read)", *opName)
 	}
-	res, err := bench.Observe(figure, *scale, *seed, *mem, op)
+	var res *bench.ObserveResult
+	var err error
+	switch {
+	case *faultRate < 0:
+		return fmt.Errorf("negative fault rate %g (want 0 for a clean run, or a positive MTBF multiplier like 1 or 4)", *faultRate)
+	case *faultRate > 0:
+		if figure != "fig7" {
+			return fmt.Errorf("fault injection observes the fig7 workload; drop the %q argument or use fig7", figure)
+		}
+		res, err = bench.ObserveFaults(*scale, *seed, *mem, op, *faultRate)
+	default:
+		res, err = bench.Observe(figure, *scale, *seed, *mem, op)
+	}
 	if err != nil {
 		return err
 	}
@@ -112,6 +128,14 @@ func writeFile(path string, write func(*os.File) error) error {
 	return f.Close()
 }
 
+// allExperiments lists every -exp value, in the order `-exp all` runs
+// them.
+var allExperiments = []string{
+	"table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"motivation", "comparison", "random", "plan", "scaling",
+	"trajectory", "trace", "tune", "ablation", "faults",
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "observe" {
 		if err := observe(os.Args[2:]); err != nil {
@@ -120,7 +144,7 @@ func main() {
 		}
 		return
 	}
-	exp := flag.String("exp", "all", "experiment: table1, fig2, fig4, fig5, fig6, fig7, fig8, motivation, comparison, random, plan, scaling, trajectory, trace, tune, ablation, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig2, fig4, fig5, fig6, fig7, fig8, motivation, comparison, random, plan, scaling, trajectory, trace, tune, ablation, faults, all")
 	scale := flag.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
 	seed := flag.Uint64("seed", 42, "seed for the availability variance")
 	details := flag.Bool("details", false, "print per-point aggregator details for figures")
@@ -210,15 +234,21 @@ func main() {
 				}
 				fmt.Println(t.Render())
 			}
+		case "faults":
+			t, err := bench.FaultSweep(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
 		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			return fmt.Errorf("unknown experiment %q (valid: %s, all)", name, strings.Join(allExperiments, ", "))
 		}
 		return nil
 	}
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "motivation", "comparison", "random", "plan", "scaling", "trajectory", "trace", "tune", "ablation"}
+		names = allExperiments
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

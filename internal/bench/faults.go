@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mcio/internal/collio"
+	"mcio/internal/core"
+	"mcio/internal/faults"
+	"mcio/internal/obs"
+	"mcio/internal/sim"
+	"mcio/internal/stats"
+	"mcio/internal/twophase"
+)
+
+// faultRates is the sweep of fault-rate multipliers: 0 (the inert
+// control — must reproduce the clean run exactly) up to 4× the default
+// MTBFs.
+func faultRates() []float64 { return []float64{0, 0.5, 1, 2, 4} }
+
+// faultedRun prices one strategy under one fault schedule. For the
+// memory-conscious strategy the plan is rebuilt per run — recovery
+// mutates its partition trees — while the baseline's static plan is
+// reusable; both are deterministic functions of (cfg, seed, rate).
+func faultedRun(ctx *collio.Context, reqs []collio.RankRequest, strategy string,
+	opt sim.Options, spec faults.Spec) (*collio.FaultResult, error) {
+	fplan, err := spec.Generate(ctx.Topo.Nodes(), ctx.FS.Targets)
+	if err != nil {
+		return nil, err
+	}
+	inj := faults.NewInjector(fplan)
+	var plan *collio.Plan
+	var handler collio.FaultHandler
+	switch strategy {
+	case "memory-conscious":
+		s := core.New()
+		p, state, err := s.PlanWithState(ctx, reqs)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+		handler = &core.Failover{State: state, Detect: spec.DetectSeconds}
+	case "two-phase":
+		p, err := twophase.New().Plan(ctx, reqs)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+		handler = twophase.NewStallRetry(ctx.Avail, spec.StallSeconds)
+	default:
+		return nil, fmt.Errorf("bench: unknown strategy %q", strategy)
+	}
+	if err := plan.Validate(reqs); err != nil {
+		return nil, err
+	}
+	return collio.CostWithFaults(ctx, plan, reqs, collio.Write, opt, inj, handler)
+}
+
+// FaultSweep is the resilience experiment (mcio -exp faults): the IOR
+// write workload of Figure 7 priced under increasing fault rates —
+// node crashes, memory collapses, stragglers, OST errors, message
+// faults — comparing the baseline's stall-and-retry against the
+// memory-conscious strategy's remerge-based failover. Reported per
+// (rate, strategy): achieved bandwidth, the overhead versus the
+// fault-free run, time attributed to recovery, and the recovery-action
+// counts. Everything is a deterministic function of (scale, seed).
+func FaultSweep(scale int64, seed uint64) (*Table, error) {
+	cfg := Fig7Config(scale, seed)
+	cfg.Name = "faults"
+	cfg.MemMB = []int{16}
+	wl, _ := Fig7Workload(cfg)
+	reqs, err := wl.Requests()
+	if err != nil {
+		return nil, err
+	}
+	nodes := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
+	r := stats.NewRNG(cfg.Seed)
+	zs := make([]float64, nodes)
+	for i := range zs {
+		zs[i] = r.Normal(0, 1)
+	}
+	ctx, err := cfg.context(cfg.scaled(16*MB), zs, wl.TotalBytes())
+	if err != nil {
+		return nil, err
+	}
+	opt := sim.DefaultOptions()
+	opt.Overlap = cfg.Overlap
+	opt.NahOpt = cfg.nahOrDefault()
+
+	// Fault-free reference per strategy: the overhead denominator and the
+	// fault horizon (schedules span 4× the clean run so mid-operation
+	// faults actually land mid-operation).
+	ref := map[string]float64{}
+	for _, strategy := range []string{"two-phase", "memory-conscious"} {
+		res, err := faultedRun(ctx, reqs, strategy, opt, faults.DefaultSpec(seed, 1).WithRate(0))
+		if err != nil {
+			return nil, err
+		}
+		ref[strategy] = res.Seconds
+	}
+
+	t := &Table{
+		Name: "resilience: IOR write under injected faults (120 ranks, 16 MB per aggregator)",
+		Header: []string{"rate", "strategy", "MB/s", "overhead", "recovery s",
+			"failovers", "stalls", "replayed", "ost retries", "events"},
+	}
+	for _, rate := range faultRates() {
+		for _, strategy := range []string{"two-phase", "memory-conscious"} {
+			spec := faults.DefaultSpec(seed, ref[strategy]*4).WithRate(rate)
+			res, err := faultedRun(ctx, reqs, strategy, opt, spec)
+			if err != nil {
+				return nil, fmt.Errorf("bench faults: %s at rate %g: %w", strategy, rate, err)
+			}
+			events := 0
+			for _, n := range res.Injected {
+				events += n
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%g", rate),
+				strategy,
+				fmt.Sprintf("%.1f", res.Bandwidth/1e6),
+				fmt.Sprintf("%+.1f%%", (res.Seconds/ref[strategy]-1)*100),
+				fmt.Sprintf("%.4f", res.RecoverySeconds),
+				fmt.Sprintf("%d", res.Failovers),
+				fmt.Sprintf("%d", res.Stalls),
+				fmt.Sprintf("%d", res.ReplayedRounds),
+				fmt.Sprintf("%d", res.StorageRetries),
+				fmt.Sprintf("%d", events),
+			})
+		}
+	}
+	return t, nil
+}
+
+// ObserveFaults is Observe's resilience variant: one faulted run of the
+// Figure 7 workload per strategy at the given fault rate, with round
+// tracing and the full observer attached, so the exported Chrome trace
+// carries the recovery rounds/stall spans and the metrics snapshot the
+// faults.*, sim.recovery_* and pfs/mpi counters.
+func ObserveFaults(scale int64, seed uint64, memMB int, op collio.Op, rate float64) (*ObserveResult, error) {
+	if memMB <= 0 {
+		memMB = 16
+	}
+	if rate < 0 {
+		return nil, fmt.Errorf("bench: negative fault rate %g", rate)
+	}
+	cfg := Fig7Config(scale, seed)
+	cfg.MemMB = []int{memMB}
+	wl, name := Fig7Workload(cfg)
+	reqs, err := wl.Requests()
+	if err != nil {
+		return nil, err
+	}
+	nodes := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
+	r := stats.NewRNG(cfg.Seed)
+	zs := make([]float64, nodes)
+	for i := range zs {
+		zs[i] = r.Normal(0, 1)
+	}
+	ctx, err := cfg.context(cfg.scaled(int64(memMB)*MB), zs, wl.TotalBytes())
+	if err != nil {
+		return nil, err
+	}
+	ctx.Obs = obs.New()
+	opt := sim.DefaultOptions()
+	opt.Trace = true
+	opt.Overlap = cfg.Overlap
+	opt.NahOpt = cfg.nahOrDefault()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "observe faults: %s, %s, %d MB per aggregator, fault rate %g\n",
+		name, op, memMB, rate)
+	for _, strategy := range []string{"two-phase", "memory-conscious"} {
+		// Clean reference for the horizon, without tracing noise.
+		refCtx := *ctx
+		refCtx.Obs = nil
+		refRes, err := faultedRun(&refCtx, reqs, strategy, opt, faults.DefaultSpec(seed, 1).WithRate(0))
+		if err != nil {
+			return nil, err
+		}
+		spec := faults.DefaultSpec(seed, refRes.Seconds*4).WithRate(rate)
+		res, err := faultedRun(ctx, reqs, strategy, opt, spec)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%s: %d rounds, %.4fs simulated (%.1f MB/s), %.4fs in recovery\n",
+			strategy, len(res.Trace), res.Seconds, res.Bandwidth/1e6, res.RecoverySeconds)
+		fmt.Fprintf(&b, "  failovers %d, stalls %d, replayed rounds %d, ost retries %d, messages delayed %d dropped %d\n",
+			res.Failovers, res.Stalls, res.ReplayedRounds, res.StorageRetries,
+			res.DelayedMessages, res.DroppedMessages)
+		if len(res.Injected) > 0 {
+			fmt.Fprintf(&b, "  injected: %v\n", res.Injected)
+		}
+		for _, line := range bindingTally(res.Trace) {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return &ObserveResult{Obs: ctx.Obs, Summary: b.String()}, nil
+}

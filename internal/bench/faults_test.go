@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"mcio/internal/collio"
+	"mcio/internal/core"
+	"mcio/internal/faults"
+	"mcio/internal/obs"
+	"mcio/internal/pfs"
+	"mcio/internal/stats"
+)
+
+func TestFaultSweepShapeAndControlRow(t *testing.T) {
+	tab, err := FaultSweep(testScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(faultRates())*2 {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(faultRates())*2)
+	}
+	// The rate-0 control rows must show zero overhead and zero recovery
+	// work: the fault path is inert when nothing is injected.
+	for _, row := range tab.Rows[:2] {
+		if row[0] != "0" {
+			t.Fatalf("first rows should be the rate-0 control, got rate %q", row[0])
+		}
+		if row[3] != "+0.0%" {
+			t.Errorf("%s control overhead = %q, want +0.0%%", row[1], row[3])
+		}
+		for i, col := range []int{5, 6, 7, 8, 9} {
+			if row[col] != "0" {
+				t.Errorf("%s control column %d = %q, want 0", row[1], i, row[col])
+			}
+		}
+	}
+	// Higher fault rates must never report negative recovery time, and
+	// injected events grow with the rate for at least one strategy.
+	for _, row := range tab.Rows {
+		if rec, _ := strconv.ParseFloat(row[4], 64); rec < 0 {
+			t.Errorf("negative recovery seconds in row %v", row)
+		}
+	}
+}
+
+func TestFaultSweepDeterministic(t *testing.T) {
+	a, err := FaultSweep(testScale, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweep(testScale, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different tables:\n%v\n%v", a.Rows, b.Rows)
+	}
+	c, err := FaultSweep(testScale, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Rows, c.Rows) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestObserveFaultsExportsRecoveryTelemetry(t *testing.T) {
+	res, err := ObserveFaults(testScale, 7, 16, collio.Write, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary == "" {
+		t.Fatal("empty summary")
+	}
+	// The metrics snapshot must carry fault-injection counters.
+	snap := res.Obs.Metrics.Snapshot()
+	found := false
+	for _, m := range snap {
+		if m.Name == "faults.injected" || m.Name == "faults.failovers" || m.Name == "faults.stalls" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no fault counters in the observe snapshot")
+	}
+}
+
+// End-to-end acceptance: a write-then-read IOR-style run under an
+// injected node crash AND a transient OST fault still produces a file
+// whose contents match the oracle — recovery moves responsibilities,
+// never bytes.
+func TestE2EWriteReadUnderNodeAndOSTFaults(t *testing.T) {
+	cfg := Fig7Config(testScale, 3)
+	cfg.MemMB = []int{16}
+	wl, _ := Fig7Workload(cfg)
+	reqs, err := wl.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
+	r := stats.NewRNG(cfg.Seed)
+	zs := make([]float64, nodes)
+	for i := range zs {
+		zs[i] = r.Normal(0, 1)
+	}
+	ctx, err := cfg.context(cfg.scaled(16*MB), zs, wl.TotalBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, state, err := core.New().PlanWithState(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(reqs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-operation, the first aggregator's node crashes: the failover
+	// handler remerges its domains and the rewritten plan executes.
+	victim := plan.Domains[0].AggNode
+	handler := &core.Failover{State: state, Detect: 0.01}
+	var affected []int
+	for i, d := range plan.Domains {
+		if d.Bytes > 0 && d.AggNode == victim {
+			affected = append(affected, i)
+		}
+	}
+	ras, err := handler.OnHostFault(ctx, collio.HostFault{Node: victim, Kind: faults.NodeCrash},
+		plan.Domains, affected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := collio.ApplyReassignments(plan.Domains, ras); err != nil {
+		t.Fatal(err)
+	}
+	recovered := plan.Compact()
+	if err := recovered.Validate(reqs); err != nil {
+		t.Fatalf("recovered plan invalid: %v", err)
+	}
+	for _, d := range recovered.Domains {
+		if d.AggNode == victim {
+			t.Fatalf("recovered plan still aggregates on crashed node %d", victim)
+		}
+	}
+
+	// The file system additionally throws transient errors on OST 0 for
+	// its first accesses; the retry ladder must absorb them.
+	fsys, err := pfs.NewFileSystem(ctx.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	fsys.SetObserver(o)
+	var remaining atomic.Int64
+	remaining.Store(3) // < MaxRetries: the first access rides out the window
+	fsys.SetFaults(func(target int, write bool) error {
+		if target == 0 && remaining.Add(-1) >= 0 {
+			return errTransient
+		}
+		return nil
+	}, pfs.RetryPolicy{MaxRetries: 5, BackoffSeconds: 0.001})
+	file := fsys.Open("e2e-faults")
+
+	writeData := make([]collio.RankData, ctx.Topo.Size())
+	var oracleSize int64
+	for rk := range writeData {
+		var req collio.RankRequest
+		req.Rank = rk
+		for _, q := range reqs {
+			if q.Rank == rk {
+				req = q
+			}
+		}
+		buf := make([]byte, req.Bytes())
+		for i := range buf {
+			buf[i] = byte((rk*131 + i*7 + 3) % 251)
+		}
+		writeData[rk] = collio.RankData{Req: req, Buf: buf}
+		for _, e := range pfs.NormalizeExtents(req.Extents) {
+			if e.End() > oracleSize {
+				oracleSize = e.End()
+			}
+		}
+	}
+	if err := collio.Exec(ctx, recovered, writeData, file, collio.Write); err != nil {
+		t.Fatalf("faulted write exec: %v", err)
+	}
+	if fsys.Retries() == 0 {
+		t.Fatal("transient OST fault never exercised the retry ladder")
+	}
+
+	oracle := make([]byte, oracleSize)
+	for rk := range writeData {
+		exts := pfs.NormalizeExtents(writeData[rk].Req.Extents)
+		var pos int64
+		for _, e := range exts {
+			copy(oracle[e.Offset:e.End()], writeData[rk].Buf[pos:pos+e.Length])
+			pos += e.Length
+		}
+	}
+	got := make([]byte, oracleSize)
+	if _, err := file.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, oracle) {
+		t.Fatal("file contents differ from oracle after faulted write")
+	}
+
+	// Collective read back through the recovered plan round-trips.
+	readData := make([]collio.RankData, ctx.Topo.Size())
+	for rk := range readData {
+		readData[rk] = collio.RankData{
+			Req: writeData[rk].Req,
+			Buf: make([]byte, len(writeData[rk].Buf)),
+		}
+	}
+	if err := collio.Exec(ctx, recovered, readData, file, collio.Read); err != nil {
+		t.Fatalf("faulted read exec: %v", err)
+	}
+	for rk := range readData {
+		if !bytes.Equal(readData[rk].Buf, writeData[rk].Buf) {
+			t.Fatalf("rank %d read back different data", rk)
+		}
+	}
+	if v := o.Counter("pfs.retries", obs.L("ost", "0")).Value(); v == 0 {
+		t.Fatal("pfs.retries{ost=0} counter not exported")
+	}
+}
+
+// A zero fault rate leaves the ObserveFaults run identical in elapsed
+// time and bandwidth to the clean Observe path for the same workload.
+func TestObserveFaultsZeroRateMatchesClean(t *testing.T) {
+	faulted, err := ObserveFaults(testScale, 9, 16, collio.Write, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Summary == "" {
+		t.Fatal("empty summary")
+	}
+	// No recovery of any kind may appear at rate 0.
+	snap := faulted.Obs.Metrics.Snapshot()
+	for _, m := range snap {
+		switch m.Name {
+		case "faults.injected", "faults.failovers", "faults.stalls", "sim.recovery_rounds":
+			t.Fatalf("metric %s present in a zero-rate run", m.Name)
+		}
+	}
+}
+
+var errTransient = errorString("EIO: injected transient")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,611 @@
+package collio
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"mcio/internal/faults"
+	"mcio/internal/obs"
+	"mcio/internal/pfs"
+	"mcio/internal/sim"
+	"mcio/internal/stats"
+)
+
+// HostFault is one host-level fault (crash or memory collapse)
+// delivered to a FaultHandler at a round boundary.
+type HostFault struct {
+	Node     int
+	Kind     faults.Kind
+	Time     float64 // simulated seconds, event schedule time
+	Severity float64 // collapse fraction for MemCollapse
+}
+
+// Reassignment is a handler's decision for one affected domain.
+//
+// MergeInto >= 0 merges the domain's remaining work into that live
+// domain (the memory-conscious leaf-takeover path): the absorber keeps
+// its own aggregator and buffer. MergeInto < 0 re-places the domain
+// standalone with the given aggregator, host, buffer and severity (the
+// relocation fallback, or the baseline's stall-on-the-same-host, which
+// re-places without moving). A zero BufferBytes keeps the domain's
+// current buffer. StallSeconds is recovery dead time (detection or
+// reboot); the cost loop charges the maximum across one event's
+// reassignments once.
+type Reassignment struct {
+	Domain        int
+	MergeInto     int
+	Aggregator    int
+	AggNode       int
+	BufferBytes   int64
+	PagedSeverity float64
+	StallSeconds  float64
+}
+
+// FaultHandler is a strategy's mid-operation recovery policy: given a
+// host fault and the indices of the live domains with remaining work on
+// the failed host, decide where that work goes. live is the current
+// domain set (placements reflect earlier recoveries); handlers must not
+// mutate it — they return Reassignments and the cost loop applies them
+// in order.
+type FaultHandler interface {
+	Name() string
+	OnHostFault(ctx *Context, f HostFault, live []Domain, affected []int) ([]Reassignment, error)
+}
+
+// FaultResult extends CostResult with the resilience accounting of a
+// faulted run.
+type FaultResult struct {
+	CostResult
+	// Injected counts the fault events that fired, by kind name.
+	Injected map[string]int
+	// Failovers counts domain reassignments that moved work (merge or
+	// relocation); Stalls counts same-host stall-and-retry recoveries.
+	Failovers int
+	Stalls    int
+	// ReplayedRounds counts in-flight rounds re-run because their
+	// aggregator was lost mid-round.
+	ReplayedRounds int
+	// StorageRetries counts OST requests re-issued inside transient
+	// error windows; DroppedMessages/DelayedMessages count message
+	// faults consumed.
+	StorageRetries  int
+	DroppedMessages int
+	DelayedMessages int
+	// RecoverySeconds is simulated time spent on failure handling
+	// (stalls + recovery rounds), a subset of Seconds.
+	RecoverySeconds float64
+	RecoveryRounds  int
+}
+
+// applyReassignment applies one handler decision to the live domain
+// set. Merged victims are emptied (Bytes 0, Extents nil) rather than
+// removed so domain indices stay stable across a faulted run.
+func applyReassignment(live []Domain, ra Reassignment) error {
+	if ra.Domain < 0 || ra.Domain >= len(live) {
+		return fmt.Errorf("collio: reassignment of invalid domain %d", ra.Domain)
+	}
+	if ra.MergeInto >= 0 {
+		if ra.MergeInto >= len(live) || ra.MergeInto == ra.Domain {
+			return fmt.Errorf("collio: domain %d merged into invalid domain %d", ra.Domain, ra.MergeInto)
+		}
+		v, a := &live[ra.Domain], &live[ra.MergeInto]
+		if v.Bytes > 0 {
+			a.Extents = pfs.NormalizeExtents(
+				append(append([]pfs.Extent(nil), a.Extents...), v.Extents...))
+			a.Bytes += v.Bytes
+		}
+		v.Extents, v.Bytes = nil, 0
+		return nil
+	}
+	d := &live[ra.Domain]
+	d.Aggregator = ra.Aggregator
+	d.AggNode = ra.AggNode
+	if ra.BufferBytes > 0 {
+		d.BufferBytes = ra.BufferBytes
+	}
+	d.PagedSeverity = ra.PagedSeverity
+	return nil
+}
+
+// ApplyReassignments rewrites a domain set after host faults, the same
+// bookkeeping CostWithFaults performs: merges fold the victim's extents
+// into the absorber and empty the victim (indices stay stable);
+// standalone entries rewrite placement. Use Plan.Compact afterwards to
+// drop the emptied victims before Validate or Exec.
+func ApplyReassignments(live []Domain, ras []Reassignment) error {
+	for _, ra := range ras {
+		if err := applyReassignment(live, ra); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact returns a copy of the plan without emptied (fully merged)
+// domains — the executable plan after fault recovery.
+func (p *Plan) Compact() *Plan {
+	q := &Plan{Strategy: p.Strategy, Groups: p.Groups, GroupRanks: p.GroupRanks}
+	for _, d := range p.Domains {
+		if d.Bytes > 0 {
+			q.Domains = append(q.Domains, d)
+		}
+	}
+	return q
+}
+
+// workItem is a unit of remaining shuffle+I/O work in the faulted cost
+// loop. One item starts per plan domain; a recovery folds an item's
+// remaining work into a fresh item bound to the absorbing (or
+// re-placed) domain. Items reference live domains by index for
+// placement, so later reassignments of the same domain move them too.
+type workItem struct {
+	domain   int // index into live; placement is read per round
+	base     []pfs.Extent
+	bytes    int64
+	buf      int64
+	rounds   int
+	done     int
+	rot      int // slice stagger rotation (domain index at creation)
+	contribs []faultContrib
+}
+
+type faultContrib struct {
+	rank, node int
+	bytes      int64
+}
+
+func (it *workItem) active() bool { return it.bytes > 0 && it.done < it.rounds }
+
+// perBytes is the front-loaded even split Cost uses: step s of rounds R
+// moves b/R bytes, plus one while s < b mod R.
+func perBytes(b int64, s, rounds int) int64 {
+	per := b / int64(rounds)
+	if int64(s) < b%int64(rounds) {
+		per++
+	}
+	return per
+}
+
+// remaining returns the item's unmoved extents and per-contributor
+// bytes after the steps it has completed (slices are staggered, so the
+// remainder is the union of the uncompleted slices).
+func (it *workItem) remaining() ([]pfs.Extent, []faultContrib) {
+	if it.done == 0 {
+		return it.base, it.contribs
+	}
+	var rem []pfs.Extent
+	for j := it.done; j < it.rounds; j++ {
+		idx := (j + it.rot) % it.rounds
+		rem = append(rem, pfs.SliceData(it.base, int64(idx)*it.buf, it.buf)...)
+	}
+	var cs []faultContrib
+	for _, c := range it.contribs {
+		moved := int64(it.done)*(c.bytes/int64(it.rounds)) + minI64(int64(it.done), c.bytes%int64(it.rounds))
+		if left := c.bytes - moved; left > 0 {
+			cs = append(cs, faultContrib{rank: c.rank, node: c.node, bytes: left})
+		}
+	}
+	return pfs.NormalizeExtents(rem), cs
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// fold builds the successor item carrying it's remaining work on the
+// (possibly re-placed) domain target. Returns nil when nothing remains.
+func (it *workItem) fold(target int, live []Domain) *workItem {
+	rem, cs := it.remaining()
+	bytes := pfs.TotalBytes(rem)
+	if bytes == 0 {
+		return nil
+	}
+	buf := live[target].BufferBytes
+	if buf < 1 {
+		buf = 1
+	}
+	return &workItem{
+		domain:   target,
+		base:     rem,
+		bytes:    bytes,
+		buf:      buf,
+		rounds:   int((bytes + buf - 1) / buf),
+		rot:      target,
+		contribs: cs,
+	}
+}
+
+// CostWithFaults prices plan like Cost, but with a fault injector
+// advancing in simulated time and a FaultHandler deciding where the
+// work of crashed or collapsed hosts goes. With a nil or empty injector
+// it delegates to Cost, so the result is byte-identical to the
+// fault-free path. The same plan, injector schedule and handler always
+// produce the same result — faulted runs are as reproducible as clean
+// ones.
+func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options,
+	inj *faults.Injector, handler FaultHandler) (*FaultResult, error) {
+	if inj.Empty() {
+		res, err := Cost(ctx, plan, reqs, op, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &FaultResult{CostResult: *res, Injected: map[string]int{}}, nil
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("collio: fault injection without a FaultHandler")
+	}
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	st := sim.StorageParams{
+		Targets:         ctx.FS.Targets,
+		TargetBW:        ctx.FS.TargetBW,
+		ReqOverhead:     ctx.FS.ReqOverhead,
+		NoncontigFactor: ctx.FS.NoncontigFactor,
+		ReadBWFactor:    ctx.FS.ReadBWFactor,
+	}
+	eng, err := sim.NewEngine(ctx.Machine, st, opt)
+	if err != nil {
+		return nil, err
+	}
+	co := newCostObs(ctx, plan, op)
+	if co != nil {
+		eng.SetObserver(ctx.Obs, co.pid,
+			obs.L("strategy", plan.Strategy), obs.L("op", op.String()))
+	}
+	inj.SetObserver(ctx.Obs)
+
+	placements := make([]sim.AggregatorPlacement, len(plan.Domains))
+	for i, d := range plan.Domains {
+		placements[i] = sim.AggregatorPlacement{
+			Node:          d.AggNode,
+			BufferBytes:   d.BufferBytes,
+			PagedSeverity: d.PagedSeverity,
+		}
+	}
+	eng.SetAggregators(placements)
+
+	// Metadata exchange, identical to Cost.
+	extCount := make(map[int]int, len(reqs))
+	for _, r := range reqs {
+		extCount[r.Rank] = len(pfs.NormalizeExtents(r.Extents))
+	}
+	aggsByGroup := make(map[int][]int)
+	for _, d := range plan.Domains {
+		aggsByGroup[d.Group] = append(aggsByGroup[d.Group], d.Aggregator)
+	}
+	var meta sim.Round
+	for g, ranks := range plan.GroupRanks {
+		aggs := dedupInts(aggsByGroup[g])
+		for _, r := range ranks {
+			bytes := int64(extCount[r]) * extentListEntryBytes
+			if bytes == 0 {
+				continue
+			}
+			for _, a := range aggs {
+				meta.Messages = append(meta.Messages, sim.Message{
+					SrcNode: ctx.Topo.NodeOf(r),
+					DstNode: ctx.Topo.NodeOf(a),
+					Bytes:   bytes,
+				})
+				co.transfer(r, a, bytes)
+			}
+		}
+	}
+	if len(meta.Messages) > 0 {
+		eng.RunRound(meta)
+	}
+
+	// Live domain set (placements mutate on recovery) and work items.
+	live := append([]Domain(nil), plan.Domains...)
+	items := make([]*workItem, 0, len(live))
+	buckets := make([][]pfs.Extent, len(live))
+	for i, d := range live {
+		buckets[i] = d.Extents
+	}
+	domainContribs := make([][]faultContrib, len(live))
+	if len(live) > 0 {
+		index := NewExtentIndex(buckets)
+		for _, r := range reqs {
+			if len(r.Extents) == 0 {
+				continue
+			}
+			node := ctx.Topo.NodeOf(r.Rank)
+			for i, b := range index.OverlapBytes(r.Extents) {
+				if b > 0 {
+					domainContribs[i] = append(domainContribs[i], faultContrib{rank: r.Rank, node: node, bytes: b})
+				}
+			}
+		}
+	}
+	totalRounds := 0
+	for i, d := range live {
+		rounds := d.Rounds()
+		totalRounds += rounds
+		if rounds == 0 {
+			continue
+		}
+		items = append(items, &workItem{
+			domain:   i,
+			base:     d.Extents,
+			bytes:    d.Bytes,
+			buf:      d.BufferBytes,
+			rounds:   rounds,
+			rot:      i,
+			contribs: domainContribs[i],
+		})
+	}
+
+	res := &FaultResult{}
+	spec := inj.Spec()
+	nodes := ctx.Topo.Nodes()
+	// nodeSeverity tracks the worst paging severity declared per node so
+	// recoveries never accidentally lower another domain's penalty.
+	nodeSeverity := map[int]float64{}
+	for _, d := range live {
+		if d.PagedSeverity > nodeSeverity[d.AggNode] {
+			nodeSeverity[d.AggNode] = d.PagedSeverity
+		}
+	}
+
+	handleHostEvent := func(ev faults.Event) error {
+		// Which items (and through them, live domains) lose their host?
+		var affectedItems []int
+		domainSet := map[int]bool{}
+		for ii, it := range items {
+			if it.active() && live[it.domain].AggNode == ev.Node {
+				affectedItems = append(affectedItems, ii)
+				domainSet[it.domain] = true
+			}
+		}
+		affected := make([]int, 0, len(domainSet))
+		for d := range domainSet {
+			affected = append(affected, d)
+		}
+		sort.Ints(affected)
+
+		// The round in flight when the host died is lost: replay it.
+		for _, ii := range affectedItems {
+			if items[ii].done > 0 {
+				items[ii].done--
+				res.ReplayedRounds++
+			}
+		}
+
+		ras, err := handler.OnHostFault(ctx, HostFault{
+			Node: ev.Node, Kind: ev.Kind, Time: ev.Time, Severity: ev.Severity,
+		}, live, affected)
+		if err != nil {
+			return err
+		}
+
+		var stall float64
+		var rec sim.Round
+		// refold retires every item bound to domain src and re-creates
+		// its remaining work bound to domain dst, shipping the
+		// contributors' remaining extent lists to dst's aggregator as
+		// recovery-round metadata (each list approximated by the item's
+		// extent count, as in the initial exchange).
+		refold := func(src, dst int, reExchange bool) {
+			// Snapshot the length: folding appends successors, and when
+			// src == dst (an in-place re-placement) a successor would
+			// match the filter and fold itself forever.
+			n := len(items)
+			for ii := 0; ii < n; ii++ {
+				it := items[ii]
+				if it.domain != src || !it.active() {
+					continue
+				}
+				nit := it.fold(dst, live)
+				it.done = it.rounds // retire
+				if nit == nil {
+					continue
+				}
+				items = append(items, nit)
+				if !reExchange {
+					continue
+				}
+				bytes := int64(len(nit.base)) * extentListEntryBytes
+				if bytes == 0 {
+					bytes = extentListEntryBytes
+				}
+				for _, c := range nit.contribs {
+					rec.Messages = append(rec.Messages, sim.Message{
+						SrcNode: c.node,
+						DstNode: live[dst].AggNode,
+						Bytes:   bytes,
+					})
+					co.transfer(c.rank, live[dst].Aggregator, bytes)
+				}
+			}
+		}
+		for _, ra := range ras {
+			if ra.StallSeconds > stall {
+				stall = ra.StallSeconds
+			}
+			if ra.MergeInto >= 0 {
+				refold(ra.Domain, ra.MergeInto, true)
+				if err := applyReassignment(live, ra); err != nil {
+					return err
+				}
+				res.Failovers++
+				continue
+			}
+			moved := live[ra.Domain].AggNode != ra.AggNode
+			bufChanged := ra.BufferBytes > 0 && live[ra.Domain].BufferBytes != ra.BufferBytes
+			if err := applyReassignment(live, ra); err != nil {
+				return err
+			}
+			if s := ra.PagedSeverity; s > nodeSeverity[ra.AggNode] {
+				nodeSeverity[ra.AggNode] = s
+			}
+			eng.SetNodePaged(ra.AggNode, nodeSeverity[ra.AggNode])
+			if moved || bufChanged {
+				refold(ra.Domain, ra.Domain, moved)
+				res.Failovers++
+			} else {
+				res.Stalls++
+			}
+		}
+		if stall > 0 {
+			eng.AddRecoveryLatency(stall, ev.Kind.String())
+		}
+		if len(rec.Messages) > 0 {
+			eng.RunRecoveryRound(rec)
+		}
+		return nil
+	}
+
+	// Main loop: one data round per iteration, fault events applied at
+	// round boundaries. The guard bounds pathological refold cascades;
+	// a correct handler converges far below it.
+	guard := 16*(totalRounds+1) + 1024
+	executed := 0
+	for {
+		now := eng.Elapsed()
+		for _, ev := range inj.Advance(now) {
+			if ev.Kind != faults.NodeCrash && ev.Kind != faults.MemCollapse {
+				continue
+			}
+			if err := handleHostEvent(ev); err != nil {
+				return nil, err
+			}
+		}
+		for n := 0; n < nodes; n++ {
+			eng.SetNodeSlowdown(n, inj.NodeSlowdown(n, now))
+		}
+
+		anyActive := false
+		for _, it := range items {
+			if it.active() {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			break
+		}
+
+		var round sim.Round
+		var extraLat float64
+		for _, it := range items {
+			if !it.active() {
+				continue
+			}
+			d := live[it.domain]
+			s := it.done
+			for _, c := range it.contribs {
+				per := perBytes(c.bytes, s, it.rounds)
+				if per == 0 {
+					continue
+				}
+				m := sim.Message{SrcNode: c.node, DstNode: d.AggNode, Bytes: per}
+				srcRank, dstRank := c.rank, d.Aggregator
+				if op == Read {
+					m.SrcNode, m.DstNode = m.DstNode, m.SrcNode
+					srcRank, dstRank = dstRank, srcRank
+				}
+				co.transfer(srcRank, dstRank, per)
+				if co != nil {
+					co.shuf[it.domain].Add(per)
+				}
+				if delay := inj.MsgDelaySeconds(m.SrcNode, now); delay > 0 {
+					extraLat += delay
+					res.DelayedMessages++
+				}
+				if inj.TakeDrop(m.SrcNode) {
+					// Lost and resent after the drop timeout: the bytes
+					// move twice and the round absorbs the timeout.
+					round.Messages = append(round.Messages, m)
+					extraLat += spec.DropTimeoutSeconds
+					res.DroppedMessages++
+				}
+				round.Messages = append(round.Messages, m)
+			}
+			idx := (s + it.rot) % it.rounds
+			slice := pfs.SliceData(it.base, int64(idx)*it.buf, it.buf)
+			for _, acc := range ctx.FS.MapExtents(slice) {
+				retries, backoff, degraded := inj.OSTPenalty(acc.Target, now)
+				delay := backoff
+				if degraded {
+					bw := ctx.FS.TargetBW
+					if op == Read && ctx.FS.ReadBWFactor > 0 {
+						bw *= ctx.FS.ReadBWFactor
+					}
+					delay += float64(acc.Bytes) / bw * (spec.DegradedFactor - 1)
+				}
+				res.StorageRetries += retries
+				round.IOOps = append(round.IOOps, sim.IOOp{
+					Target:       acc.Target,
+					Node:         d.AggNode,
+					Bytes:        acc.Bytes,
+					Requests:     acc.Requests + retries,
+					Contiguous:   acc.Contiguous,
+					Write:        op == Write,
+					DelaySeconds: delay,
+				})
+			}
+			it.done++
+		}
+		if extraLat > 0 {
+			eng.AddLatency(extraLat)
+		}
+		eng.RunRound(round)
+		executed++
+		if executed > guard {
+			return nil, fmt.Errorf("collio: fault recovery did not converge after %d rounds", executed)
+		}
+	}
+
+	userBytes := plan.TotalBytes()
+	if co != nil {
+		span := ctx.Obs.Tracer().Begin(co.pid, sim.TIDTimeline,
+			plan.Strategy+" "+op.String()+" (faults)", 0,
+			obs.A("groups", strconv.Itoa(plan.Groups)),
+			obs.A("domains", strconv.Itoa(len(plan.Domains))),
+			obs.A("rounds", strconv.Itoa(executed)),
+			obs.A("user_bytes", strconv.FormatInt(userBytes, 10)))
+		span.End(eng.Elapsed())
+	}
+	totals := eng.Totals()
+	res.CostResult = CostResult{
+		Strategy:  plan.Strategy,
+		Op:        op,
+		UserBytes: userBytes,
+		Seconds:   eng.Elapsed(),
+		Bandwidth: eng.Bandwidth(userBytes),
+		Totals:    totals,
+		Domains:   len(plan.Domains),
+		Groups:    plan.Groups,
+		MaxRounds: executed,
+	}
+	res.Aggregators = len(plan.Aggregators())
+	buffers := make([]float64, 0, len(plan.Domains))
+	for _, d := range plan.Domains {
+		buffers = append(buffers, float64(d.BufferBytes))
+		if d.PagedSeverity > 0 {
+			res.PagedAggregators++
+		}
+	}
+	res.BufferSummary = stats.Summarize(buffers)
+	if opt.Trace {
+		res.Trace = eng.Trace()
+	}
+	res.Injected = inj.Counts()
+	res.RecoverySeconds = totals.RecoverySeconds
+	res.RecoveryRounds = totals.RecoveryRounds
+	if o := ctx.Obs; o != nil {
+		base := []obs.Label{obs.L("strategy", plan.Strategy), obs.L("op", op.String())}
+		o.Counter("faults.failovers", base...).Add(int64(res.Failovers))
+		o.Counter("faults.stalls", base...).Add(int64(res.Stalls))
+		o.Counter("faults.replayed_rounds", base...).Add(int64(res.ReplayedRounds))
+		o.Counter("faults.storage_retries", base...).Add(int64(res.StorageRetries))
+		o.Counter("faults.dropped_messages", base...).Add(int64(res.DroppedMessages))
+		o.Counter("faults.delayed_messages", base...).Add(int64(res.DelayedMessages))
+	}
+	return res, nil
+}

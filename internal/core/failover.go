@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mcio/internal/collio"
+	"mcio/internal/faults"
+	"mcio/internal/memmodel"
+)
+
+// RecoveryState is the planner state a mid-operation Failover handler
+// needs: the partition tree of each group (so failed domains remerge
+// along the same §3.2 rules that built them), the leaf each live domain
+// occupies, and the memory tracker the original placement reserved
+// against. PlanWithState returns it alongside the plan.
+type RecoveryState struct {
+	trees       []*PartitionTree
+	domainLeaf  []*TreeNode // aligned with the plan's domain order
+	leafDomain  map[*TreeNode]int
+	domainGroup []int
+	groupRanks  [][]int
+	tracker     *memmodel.Tracker
+	down        map[int]bool
+}
+
+// Down reports whether a node has been declared failed (crashed, or
+// memory-collapsed past hosting aggregators).
+func (st *RecoveryState) Down(node int) bool { return st.down[node] }
+
+// DownNodes returns the failed nodes in ascending order.
+func (st *RecoveryState) DownNodes() []int {
+	out := make([]int, 0, len(st.down))
+	for n := range st.down {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Failover is the memory-conscious strategy's mid-operation recovery
+// policy (collio.FaultHandler): when an aggregator's host crashes or
+// its memory collapses, each of its file domains is remerged into its
+// partition-tree sibling (the same leaf-takeover / order-aware DFS
+// walk of Fig. 5 that planning uses), chaining past absorbers that are
+// themselves on failed hosts. A group reduced to its last leaf instead
+// relocates that domain to the live related host with the most
+// available memory. Detect is the failure-detection latency charged as
+// stall time per recovery.
+type Failover struct {
+	State  *RecoveryState
+	Detect float64
+}
+
+// Name implements collio.FaultHandler.
+func (f *Failover) Name() string { return "memory-conscious failover" }
+
+// OnHostFault implements collio.FaultHandler.
+func (f *Failover) OnHostFault(ctx *collio.Context, hf collio.HostFault,
+	live []collio.Domain, affected []int) ([]collio.Reassignment, error) {
+	st := f.State
+	st.down[hf.Node] = true
+	if hf.Kind == faults.MemCollapse {
+		// The co-resident application took the memory: the node stays up
+		// but can no longer back aggregation buffers.
+		st.tracker.Collapse(hf.Node, hf.Severity)
+	} else {
+		st.tracker.SetAvail(hf.Node, 0)
+	}
+
+	var ras []collio.Reassignment
+	handled := make(map[int]bool)
+	for _, di := range affected {
+		if handled[di] {
+			continue
+		}
+		cur := di
+		for {
+			handled[cur] = true
+			g := st.domainGroup[cur]
+			leaf := st.domainLeaf[cur]
+			var absorber *TreeNode
+			err := fmt.Errorf("core: domain %d has no partition-tree leaf", cur)
+			if leaf != nil {
+				absorber, err = st.trees[g].Remerge(leaf)
+			}
+			if err != nil {
+				// Last leaf of its group: nothing to merge into, relocate.
+				ra, rerr := f.relocate(ctx, cur, g, live)
+				if rerr != nil {
+					return nil, rerr
+				}
+				ras = append(ras, ra)
+				break
+			}
+			ai, ok := st.leafDomain[absorber]
+			if !ok {
+				return nil, fmt.Errorf("core: absorber leaf of domain %d has no domain", cur)
+			}
+			st.domainLeaf[cur] = nil
+			delete(st.leafDomain, leaf)
+			ras = append(ras, collio.Reassignment{
+				Domain:       cur,
+				MergeInto:    ai,
+				StallSeconds: f.Detect,
+			})
+			if !st.down[live[ai].AggNode] {
+				break
+			}
+			// The absorber sits on a failed host too (an earlier victim of
+			// this event, or of a previous one): chain its merged load
+			// onward until a live host absorbs it.
+			cur = ai
+		}
+	}
+	return ras, nil
+}
+
+// relocate places a domain standalone on the live related host with the
+// most available memory (any live host if the whole group's hosts are
+// down), sizing the buffer to what that host has, as planning's
+// fallback does.
+func (f *Failover) relocate(ctx *collio.Context, di, g int, live []collio.Domain) (collio.Reassignment, error) {
+	st := f.State
+	best, bestAvail := -1, int64(-1)
+	consider := func(n int) {
+		if st.down[n] {
+			return
+		}
+		if a := st.tracker.Avail(n); a > bestAvail {
+			best, bestAvail = n, a
+		}
+	}
+	seen := make(map[int]bool)
+	for _, r := range st.groupRanks[g] {
+		if n := ctx.Topo.NodeOf(r); !seen[n] {
+			seen[n] = true
+			consider(n)
+		}
+	}
+	if best < 0 {
+		for n := 0; n < ctx.Topo.Nodes(); n++ {
+			consider(n)
+		}
+	}
+	if best < 0 {
+		return collio.Reassignment{}, fmt.Errorf("core: no live host to relocate domain %d onto", di)
+	}
+	rank := -1
+	for _, r := range st.groupRanks[g] {
+		if ctx.Topo.NodeOf(r) == best {
+			rank = r
+			break
+		}
+	}
+	if rank < 0 {
+		ranks := ctx.Topo.RanksOnNode(best)
+		if len(ranks) == 0 {
+			return collio.Reassignment{}, fmt.Errorf("core: relocation host %d has no ranks", best)
+		}
+		rank = ranks[0]
+	}
+
+	buf := ctx.Params.CollBufSize
+	if live[di].Bytes > 0 && buf > live[di].Bytes {
+		buf = live[di].Bytes
+	}
+	minBuf := ctx.Params.CollBufSize / 8
+	if minBuf < 1 {
+		minBuf = 1
+	}
+	severity := 0.0
+	if avail := st.tracker.Avail(best); avail < buf {
+		buf = avail
+		if buf < minBuf {
+			buf = minBuf
+		}
+		if avail < buf {
+			severity = float64(buf-avail) / float64(buf)
+		}
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	st.tracker.Reserve(best, buf)
+	return collio.Reassignment{
+		Domain:        di,
+		MergeInto:     -1,
+		Aggregator:    rank,
+		AggNode:       best,
+		BufferBytes:   buf,
+		PagedSeverity: severity,
+		StallSeconds:  f.Detect,
+	}, nil
+}

@@ -23,12 +23,20 @@ func (s *Strategy) Name() string { return "memory-conscious" }
 // order: aggregation group division, workload partition, portion
 // remerging, and aggregator location.
 func (s *Strategy) Plan(ctx *collio.Context, reqs []collio.RankRequest) (*collio.Plan, error) {
+	plan, _, err := s.PlanWithState(ctx, reqs)
+	return plan, err
+}
+
+// PlanWithState is Plan plus the recovery state a Failover handler needs
+// to remerge domains mid-operation: the partition trees, the leaf each
+// domain came from, and the live memory tracker.
+func (s *Strategy) PlanWithState(ctx *collio.Context, reqs []collio.RankRequest) (*collio.Plan, *RecoveryState, error) {
 	if err := ctx.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, r := range reqs {
 		if r.Rank < 0 || r.Rank >= ctx.Topo.Size() {
-			return nil, fmt.Errorf("core: request for invalid rank %d", r.Rank)
+			return nil, nil, fmt.Errorf("core: request for invalid rank %d", r.Rank)
 		}
 	}
 	// Determine the effective Msg_ind for this machine state, as §3's
@@ -43,9 +51,14 @@ func (s *Strategy) Plan(ctx *collio.Context, reqs []collio.RankRequest) (*collio
 
 	groups := DivideGroups(ctx, reqs)
 	plan := &collio.Plan{Strategy: s.Name(), Groups: len(groups)}
+	state := &RecoveryState{
+		leafDomain: make(map[*TreeNode]int),
+		down:       make(map[int]bool),
+	}
 	if len(groups) == 0 {
 		plan.GroupRanks = [][]int{}
-		return plan, nil
+		state.groupRanks = plan.GroupRanks
+		return plan, state, nil
 	}
 
 	normReq := make(map[int][]pfs.Extent, len(reqs))
@@ -67,25 +80,35 @@ func (s *Strategy) Plan(ctx *collio.Context, reqs []collio.RankRequest) (*collio
 		plan.GroupRanks = append(plan.GroupRanks, g.Ranks)
 		tree, err := BuildTree(g.Extents, ctx.Params.MsgInd)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if ctx.Obs != nil {
 			ctx.Obs.Histogram("plan.group_bytes", strategyLabel).Observe(float64(pfs.TotalBytes(g.Extents)))
 			ctx.Obs.Histogram("plan.tree_leaves", strategyLabel).Observe(float64(len(tree.Leaves())))
 		}
-		domains, err := s.placeGroup(ctx, tree, g, normReq, tracker, aggsOnHost)
+		domains, leaves, err := s.placeGroup(ctx, tree, g, normReq, tracker, aggsOnHost)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		state.trees = append(state.trees, tree)
+		for i := range domains {
+			di := len(plan.Domains) + i
+			state.domainLeaf = append(state.domainLeaf, leaves[i])
+			state.leafDomain[leaves[i]] = di
+			state.domainGroup = append(state.domainGroup, g.Index)
 		}
 		plan.Domains = append(plan.Domains, domains...)
 	}
+	state.groupRanks = plan.GroupRanks
+	state.tracker = tracker
 	collio.RecordPlanMetrics(ctx.Obs, plan)
-	return plan, nil
+	return plan, state, nil
 }
 
 // placeGroup assigns an aggregator to every leaf of the group's partition
 // tree, remerging leaves whose candidate hosts cannot satisfy Mem_min
-// (§3.2-3.3). It returns the group's domains in file order.
+// (§3.2-3.3). It returns the group's domains in file order, along with
+// the tree leaf each domain was placed on (for mid-operation failover).
 func (s *Strategy) placeGroup(
 	ctx *collio.Context,
 	tree *PartitionTree,
@@ -93,7 +116,7 @@ func (s *Strategy) placeGroup(
 	normReq map[int][]pfs.Extent,
 	tracker *memmodel.Tracker,
 	aggsOnHost map[int]int,
-) ([]collio.Domain, error) {
+) ([]collio.Domain, []*TreeNode, error) {
 	placed := make(map[*TreeNode]*collio.Domain)
 
 	// contributions computes, for the current leaf set, each contributing
@@ -170,7 +193,7 @@ func (s *Strategy) placeGroup(
 				// the cost model charges the paging it causes.
 				host, rank, ferr := s.fallback(ctx, contribs[li], g, tracker)
 				if ferr != nil {
-					return nil, ferr
+					return nil, nil, ferr
 				}
 				ctx.Obs.Counter("plan.fallback_placements", obs.L("strategy", s.Name())).Inc()
 				// Memory-conscious to the last: shrink the buffer toward
@@ -235,7 +258,7 @@ func (s *Strategy) placeGroup(
 			break
 		}
 		if !progressed {
-			return nil, fmt.Errorf("core: placement made no progress in group %d", g.Index)
+			return nil, nil, fmt.Errorf("core: placement made no progress in group %d", g.Index)
 		}
 	}
 
@@ -244,11 +267,11 @@ func (s *Strategy) placeGroup(
 	for _, leaf := range leaves {
 		dom := placed[leaf]
 		if dom == nil {
-			return nil, fmt.Errorf("core: leaf left unplaced in group %d", g.Index)
+			return nil, nil, fmt.Errorf("core: leaf left unplaced in group %d", g.Index)
 		}
 		out = append(out, *dom)
 	}
-	return out, nil
+	return out, leaves, nil
 }
 
 // capacityParams raises Msg_ind (and, transitively, Msg_group) so the

@@ -4,6 +4,12 @@ import (
 	"testing"
 	"testing/quick"
 
+	mrand "math/rand"
+
+	"mcio/internal/collio"
+	"mcio/internal/faults"
+	"mcio/internal/machine"
+	"mcio/internal/mpi"
 	"mcio/internal/pfs"
 	"mcio/internal/stats"
 )
@@ -270,5 +276,112 @@ func TestSiblingAndIsLeftChild(t *testing.T) {
 	}
 	if !l.isLeftChild() || rgt.isLeftChild() {
 		t.Fatal("isLeftChild")
+	}
+}
+
+// Property (satellite of the fault-injection PR): after ANY sequence of
+// failure-driven remerges — crashes and memory collapses over random
+// workloads, in random order, up to all-but-one node — the surviving
+// domains still tile the requested region exactly and disjointly, and
+// none of them is placed on a failed host.
+func TestFailureDrivenRemergesPreserveTiling(t *testing.T) {
+	check := func(seed uint64) bool {
+		rr := stats.NewRNG(seed)
+		ranks := rr.Intn(8) + 4
+		perNode := rr.Intn(3) + 1
+		topo, err := mpi.BlockTopology(ranks, perNode)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		mc := machine.Testbed640()
+		mc.Nodes = topo.Nodes()
+		avail := make([]int64, topo.Nodes())
+		for i := range avail {
+			avail[i] = int64(rr.Intn(1<<16) + 256)
+		}
+		buf := int64(rr.Intn(4096) + 128)
+		params := collio.DefaultParams(buf)
+		params.MsgInd = int64(rr.Intn(2000) + 100)
+		params.MsgGroup = params.MsgInd * int64(rr.Intn(4)+1)
+		params.MemMin = int64(rr.Intn(256))
+		ctx := &collio.Context{
+			Topo: topo, Machine: mc, Avail: avail,
+			FS: pfs.DefaultConfig(4), Params: params,
+		}
+		var reqs []collio.RankRequest
+		var off int64
+		for r := 0; r < ranks; r++ {
+			ln := int64(rr.Intn(900) + 100)
+			reqs = append(reqs, collio.RankRequest{
+				Rank:    r,
+				Extents: []pfs.Extent{{Offset: off, Length: ln}},
+			})
+			off += ln
+			if rr.Float64() < 0.3 {
+				off += int64(rr.Intn(500)) // leave a hole in the file
+			}
+		}
+
+		plan, state, err := New().PlanWithState(ctx, reqs)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		handler := &Failover{State: state, Detect: 0.01}
+		total := plan.TotalBytes()
+
+		order := rr.Perm(topo.Nodes())
+		for _, n := range order[:topo.Nodes()-1] {
+			kind, sev := faults.NodeCrash, 0.0
+			if rr.Float64() < 0.3 {
+				kind, sev = faults.MemCollapse, rr.Float64()
+			}
+			var affected []int
+			for i, d := range plan.Domains {
+				if d.Bytes > 0 && d.AggNode == n {
+					affected = append(affected, i)
+				}
+			}
+			ras, err := handler.OnHostFault(ctx, collio.HostFault{Node: n, Kind: kind, Severity: sev},
+				plan.Domains, affected)
+			if err != nil {
+				t.Logf("seed %d: handler: %v", seed, err)
+				return false
+			}
+			if err := collio.ApplyReassignments(plan.Domains, ras); err != nil {
+				t.Logf("seed %d: apply: %v", seed, err)
+				return false
+			}
+			var live int64
+			for i, d := range plan.Domains {
+				if d.Bytes == 0 {
+					continue
+				}
+				if state.Down(d.AggNode) {
+					t.Logf("seed %d: domain %d still on failed host %d", seed, i, d.AggNode)
+					return false
+				}
+				live += d.Bytes
+			}
+			if live != total {
+				t.Logf("seed %d: bytes leaked in remerge: %d != %d", seed, live, total)
+				return false
+			}
+			// Validate re-checks the full tiling invariant: sorted,
+			// disjoint, exact coverage of the requests.
+			if err := plan.Compact().Validate(reqs); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	seedRNG := stats.NewRNG(42)
+	if err := quick.Check(check, &quick.Config{
+		MaxCount: 60,
+		Rand:     mrand.New(mrand.NewSource(int64(seedRNG.Uint64()))),
+	}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,327 @@
+// Package faults is the deterministic fault-injection subsystem of the
+// collective-I/O simulator. A Spec describes per-component mean times
+// between failures (in simulated seconds); Generate expands it into a
+// Plan — a time-sorted schedule of concrete fault events over a machine
+// of N nodes and T storage targets. An Injector replays that schedule
+// against a simulated clock and answers the queries the cost engine and
+// the planners ask while an operation is in flight: is this node dead,
+// how slow is this straggler, does this message get dropped, how many
+// retries does this OST access eat.
+//
+// Everything is a pure function of (Spec, node count, target count):
+// each (fault kind, entity) pair draws its inter-arrival times from its
+// own stats.RNG stream, so adding a fault kind or resizing the machine
+// never perturbs the other streams, and a given seed reproduces the
+// byte-identical schedule forever.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mcio/internal/stats"
+)
+
+// Kind enumerates the fault taxonomy.
+type Kind int
+
+const (
+	// NodeCrash kills a host: its aggregator role is lost and the work
+	// must move (memory-conscious) or stall until reboot (baseline).
+	NodeCrash Kind = iota
+	// MemCollapse is a mid-operation loss of most of a host's available
+	// memory (a co-resident application ballooning); the host survives
+	// but can no longer back its aggregation buffers.
+	MemCollapse
+	// Straggler degrades a host's NIC and DRAM bandwidth by Severity×
+	// for Duration seconds.
+	Straggler
+	// OSTTransient makes a storage target return retryable errors for
+	// Duration seconds.
+	OSTTransient
+	// OSTPermanent degrades a storage target for the rest of the run.
+	OSTPermanent
+	// MsgDelay adds fixed latency to messages leaving a host for
+	// Duration seconds.
+	MsgDelay
+	// MsgDrop loses one message leaving a host (it must be resent after
+	// a timeout).
+	MsgDrop
+
+	numKinds int = iota
+)
+
+// String names the kind for metrics labels and reports.
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "node-crash"
+	case MemCollapse:
+		return "mem-collapse"
+	case Straggler:
+		return "straggler"
+	case OSTTransient:
+		return "ost-transient"
+	case OSTPermanent:
+		return "ost-permanent"
+	case MsgDelay:
+		return "msg-delay"
+	case MsgDrop:
+		return "msg-drop"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault. Node is set for host-level kinds,
+// Target for OST kinds. Duration bounds time-windowed kinds
+// (Straggler, OSTTransient, MsgDelay); Severity carries the
+// kind-specific magnitude (fraction of memory lost for MemCollapse,
+// slowdown factor for Straggler, added seconds for MsgDelay).
+type Event struct {
+	Kind     Kind
+	Time     float64 // simulated seconds since operation start
+	Node     int
+	Target   int
+	Duration float64
+	Severity float64
+}
+
+// Spec declares the fault environment. All MTBF fields are mean time
+// between failures per entity in simulated seconds; zero disables that
+// kind entirely. Horizon bounds the schedule: no event is generated at
+// or beyond it.
+type Spec struct {
+	Seed    uint64
+	Horizon float64
+
+	NodeCrashMTBF    float64
+	MemCollapseMTBF  float64
+	CollapseFraction float64 // fraction of availability lost, (0,1]
+
+	StragglerMTBF     float64
+	StragglerDuration float64
+	StragglerFactor   float64 // bandwidth divisor while straggling, > 1
+
+	OSTTransientMTBF     float64
+	OSTTransientDuration float64
+	OSTPermanentMTBF     float64
+	DegradedFactor       float64 // service-time multiplier on a degraded OST, >= 1
+
+	MsgDelayMTBF     float64
+	MsgDelayDuration float64
+	MsgDelaySeconds  float64 // latency added per message while delayed
+
+	MsgDropMTBF        float64
+	DropTimeoutSeconds float64 // detection + resend cost of one dropped message
+
+	// Recovery pricing knobs consumed by the handlers, kept here so one
+	// Spec fully determines a faulted run.
+	DetectSeconds float64 // failure-detection latency before a failover
+	StallSeconds  float64 // baseline reboot-and-retry stall after a crash
+	RetryBackoff  float64 // initial OST retry backoff, doubling per retry
+	MaxRetries    int     // retry budget before a transient OST escalates
+}
+
+// DefaultSpec returns a fault environment calibrated to an operation
+// expected to last about horizon simulated seconds: roughly one or two
+// host-level events across a ten-node machine at rate 1, with detection
+// and stall costs that are meaningful relative to the operation.
+func DefaultSpec(seed uint64, horizon float64) Spec {
+	if horizon <= 0 {
+		horizon = 1
+	}
+	return Spec{
+		Seed:    seed,
+		Horizon: horizon,
+
+		NodeCrashMTBF:    6 * horizon,
+		MemCollapseMTBF:  6 * horizon,
+		CollapseFraction: 0.9,
+
+		StragglerMTBF:     3 * horizon,
+		StragglerDuration: horizon / 4,
+		StragglerFactor:   4,
+
+		OSTTransientMTBF:     3 * horizon,
+		OSTTransientDuration: horizon / 8,
+		OSTPermanentMTBF:     30 * horizon,
+		DegradedFactor:       1.5,
+
+		MsgDelayMTBF:     3 * horizon,
+		MsgDelayDuration: horizon / 8,
+		MsgDelaySeconds:  horizon / 500,
+
+		MsgDropMTBF:        3 * horizon,
+		DropTimeoutSeconds: horizon / 200,
+
+		DetectSeconds: horizon / 100,
+		StallSeconds:  horizon / 4,
+		RetryBackoff:  horizon / 2000,
+		MaxRetries:    5,
+	}
+}
+
+// WithRate scales every failure rate by rate: MTBFs are divided by it,
+// so rate 2 doubles the expected event count and rate 0 disables every
+// kind (the schedule is empty and the fault path fully inert).
+func (s Spec) WithRate(rate float64) Spec {
+	if rate <= 0 {
+		s.NodeCrashMTBF = 0
+		s.MemCollapseMTBF = 0
+		s.StragglerMTBF = 0
+		s.OSTTransientMTBF = 0
+		s.OSTPermanentMTBF = 0
+		s.MsgDelayMTBF = 0
+		s.MsgDropMTBF = 0
+		return s
+	}
+	s.NodeCrashMTBF /= rate
+	s.MemCollapseMTBF /= rate
+	s.StragglerMTBF /= rate
+	s.OSTTransientMTBF /= rate
+	s.OSTPermanentMTBF /= rate
+	s.MsgDelayMTBF /= rate
+	s.MsgDropMTBF /= rate
+	return s
+}
+
+// Validate rejects specs that cannot be scheduled deterministically.
+func (s Spec) Validate() error {
+	if s.Horizon < 0 || math.IsNaN(s.Horizon) || math.IsInf(s.Horizon, 0) {
+		return fmt.Errorf("faults: horizon %v must be finite and non-negative", s.Horizon)
+	}
+	for _, m := range []struct {
+		name string
+		v    float64
+	}{
+		{"NodeCrashMTBF", s.NodeCrashMTBF},
+		{"MemCollapseMTBF", s.MemCollapseMTBF},
+		{"StragglerMTBF", s.StragglerMTBF},
+		{"OSTTransientMTBF", s.OSTTransientMTBF},
+		{"OSTPermanentMTBF", s.OSTPermanentMTBF},
+		{"MsgDelayMTBF", s.MsgDelayMTBF},
+		{"MsgDropMTBF", s.MsgDropMTBF},
+	} {
+		if m.v < 0 || math.IsNaN(m.v) {
+			return fmt.Errorf("faults: %s %v must be >= 0", m.name, m.v)
+		}
+	}
+	if s.MemCollapseMTBF > 0 && (s.CollapseFraction <= 0 || s.CollapseFraction > 1) {
+		return fmt.Errorf("faults: CollapseFraction %v must be in (0,1]", s.CollapseFraction)
+	}
+	if s.StragglerMTBF > 0 && s.StragglerFactor <= 1 {
+		return fmt.Errorf("faults: StragglerFactor %v must be > 1", s.StragglerFactor)
+	}
+	if (s.OSTTransientMTBF > 0 || s.OSTPermanentMTBF > 0) && s.DegradedFactor < 1 {
+		return fmt.Errorf("faults: DegradedFactor %v must be >= 1", s.DegradedFactor)
+	}
+	if s.OSTTransientMTBF > 0 && (s.RetryBackoff <= 0 || s.MaxRetries < 1) {
+		return fmt.Errorf("faults: transient OST faults need RetryBackoff > 0 and MaxRetries >= 1")
+	}
+	return nil
+}
+
+// Plan is a generated fault schedule: events sorted by time (ties
+// broken by kind, then node, then target, so iteration order is total
+// and reproducible).
+type Plan struct {
+	Spec   Spec
+	Events []Event
+}
+
+// Generate expands the spec into a schedule for a machine of nodes
+// hosts and targets storage targets. Each (kind, entity) pair owns an
+// independent RNG stream seeded from Spec.Seed, so schedules are stable
+// under machine resizing and kind addition.
+func (s Spec) Generate(nodes, targets int) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes < 0 || targets < 0 {
+		return nil, fmt.Errorf("faults: negative machine size (%d nodes, %d targets)", nodes, targets)
+	}
+	p := &Plan{Spec: s}
+	addNodeKind := func(kind Kind, mtbf float64, mk func(r *stats.RNG, node int, t float64) Event) {
+		if mtbf <= 0 {
+			return
+		}
+		for node := 0; node < nodes; node++ {
+			r := streamRNG(s.Seed, kind, node)
+			for t := r.Exponential(1 / mtbf); t < s.Horizon; t += r.Exponential(1 / mtbf) {
+				p.Events = append(p.Events, mk(r, node, t))
+			}
+		}
+	}
+	addTargetKind := func(kind Kind, mtbf float64, mk func(r *stats.RNG, target int, t float64) Event) {
+		if mtbf <= 0 {
+			return
+		}
+		for target := 0; target < targets; target++ {
+			r := streamRNG(s.Seed, kind, target)
+			for t := r.Exponential(1 / mtbf); t < s.Horizon; t += r.Exponential(1 / mtbf) {
+				p.Events = append(p.Events, mk(r, target, t))
+			}
+		}
+	}
+
+	addNodeKind(NodeCrash, s.NodeCrashMTBF, func(_ *stats.RNG, node int, t float64) Event {
+		return Event{Kind: NodeCrash, Time: t, Node: node, Target: -1}
+	})
+	addNodeKind(MemCollapse, s.MemCollapseMTBF, func(_ *stats.RNG, node int, t float64) Event {
+		return Event{Kind: MemCollapse, Time: t, Node: node, Target: -1, Severity: s.CollapseFraction}
+	})
+	addNodeKind(Straggler, s.StragglerMTBF, func(_ *stats.RNG, node int, t float64) Event {
+		return Event{Kind: Straggler, Time: t, Node: node, Target: -1,
+			Duration: s.StragglerDuration, Severity: s.StragglerFactor}
+	})
+	addNodeKind(MsgDelay, s.MsgDelayMTBF, func(_ *stats.RNG, node int, t float64) Event {
+		return Event{Kind: MsgDelay, Time: t, Node: node, Target: -1,
+			Duration: s.MsgDelayDuration, Severity: s.MsgDelaySeconds}
+	})
+	addNodeKind(MsgDrop, s.MsgDropMTBF, func(_ *stats.RNG, node int, t float64) Event {
+		return Event{Kind: MsgDrop, Time: t, Node: node, Target: -1, Severity: s.DropTimeoutSeconds}
+	})
+	addTargetKind(OSTTransient, s.OSTTransientMTBF, func(_ *stats.RNG, target int, t float64) Event {
+		return Event{Kind: OSTTransient, Time: t, Node: -1, Target: target, Duration: s.OSTTransientDuration}
+	})
+	addTargetKind(OSTPermanent, s.OSTPermanentMTBF, func(_ *stats.RNG, target int, t float64) Event {
+		return Event{Kind: OSTPermanent, Time: t, Node: -1, Target: target, Severity: s.DegradedFactor}
+	})
+
+	sort.Slice(p.Events, func(i, j int) bool {
+		a, b := p.Events[i], p.Events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Target < b.Target
+	})
+	return p, nil
+}
+
+// Crashes returns how many NodeCrash events the plan schedules.
+func (p *Plan) Crashes() int {
+	n := 0
+	for _, e := range p.Events {
+		if e.Kind == NodeCrash {
+			n++
+		}
+	}
+	return n
+}
+
+// streamRNG derives the independent generator for one (kind, entity)
+// pair. The mixing constants are the SplitMix64 increments, so distinct
+// pairs land in well-separated seed space.
+func streamRNG(seed uint64, kind Kind, entity int) *stats.RNG {
+	return stats.NewRNG(seed ^
+		(uint64(kind)+1)*0x9e3779b97f4a7c15 ^
+		(uint64(entity)+1)*0xbf58476d1ce4e5b9)
+}

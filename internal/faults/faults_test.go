@@ -1,0 +1,209 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"mcio/internal/obs"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := DefaultSpec(42, 2.0)
+	a, err := spec.Generate(10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate(10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatalf("same spec produced different schedules:\n%v\n%v", a.Events, b.Events)
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("default spec over 10 nodes / 16 targets scheduled no events")
+	}
+	diff, err := DefaultSpec(43, 2.0).Generate(10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, diff.Events) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+func TestGenerateSortedAndBounded(t *testing.T) {
+	spec := DefaultSpec(7, 3.0)
+	p, err := spec.Generate(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range p.Events {
+		if e.Time < 0 || e.Time >= spec.Horizon {
+			t.Fatalf("event %d at %v outside [0, %v)", i, e.Time, spec.Horizon)
+		}
+		if i > 0 && p.Events[i-1].Time > e.Time {
+			t.Fatalf("events not time-sorted at %d", i)
+		}
+		switch e.Kind {
+		case OSTTransient, OSTPermanent:
+			if e.Target < 0 || e.Target >= 8 {
+				t.Fatalf("OST event with target %d", e.Target)
+			}
+		default:
+			if e.Node < 0 || e.Node >= 8 {
+				t.Fatalf("node event with node %d", e.Node)
+			}
+		}
+	}
+}
+
+func TestStreamsIndependentOfMachineSize(t *testing.T) {
+	// Growing the machine must not change the schedule of the existing
+	// entities: per-(kind, entity) streams are independent.
+	spec := DefaultSpec(11, 2.0)
+	small, err := spec.Generate(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := spec.Generate(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := func(p *Plan) []Event {
+		var out []Event
+		for _, e := range p.Events {
+			if e.Node < 4 && e.Target < 4 {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(keep(small), keep(big)) {
+		t.Fatal("resizing the machine perturbed existing entity streams")
+	}
+}
+
+func TestWithRateZeroIsEmpty(t *testing.T) {
+	p, err := DefaultSpec(42, 2.0).WithRate(0).Generate(10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 0 {
+		t.Fatalf("rate 0 scheduled %d events", len(p.Events))
+	}
+	if !NewInjector(p).Empty() {
+		t.Fatal("injector over empty plan is not Empty")
+	}
+	if !NewInjector(nil).Empty() {
+		t.Fatal("injector over nil plan is not Empty")
+	}
+}
+
+func TestWithRateScalesEventCount(t *testing.T) {
+	base := DefaultSpec(42, 4.0)
+	lo, _ := base.Generate(16, 16)
+	hi, _ := base.WithRate(4).Generate(16, 16)
+	if len(hi.Events) <= len(lo.Events) {
+		t.Fatalf("rate 4 gave %d events, rate 1 gave %d", len(hi.Events), len(lo.Events))
+	}
+}
+
+func TestInjectorAdvanceAndQueries(t *testing.T) {
+	plan := &Plan{
+		Spec: Spec{RetryBackoff: 0.01, MaxRetries: 3},
+		Events: []Event{
+			{Kind: NodeCrash, Time: 0.5, Node: 2, Target: -1},
+			{Kind: Straggler, Time: 1.0, Node: 1, Target: -1, Duration: 1.0, Severity: 4},
+			{Kind: MsgDelay, Time: 1.0, Node: 3, Target: -1, Duration: 0.5, Severity: 0.02},
+			{Kind: MsgDrop, Time: 1.2, Node: 3, Target: -1},
+			{Kind: OSTTransient, Time: 1.5, Node: -1, Target: 0, Duration: 0.1},
+		},
+	}
+	in := NewInjector(plan)
+	in.SetObserver(obs.New())
+
+	if evs := in.Advance(0.4); len(evs) != 0 {
+		t.Fatalf("events before their time: %v", evs)
+	}
+	evs := in.Advance(1.1)
+	if len(evs) != 3 {
+		t.Fatalf("expected 3 events by t=1.1, got %v", evs)
+	}
+	if !in.NodeDead(2) || in.NodeDead(1) {
+		t.Fatal("crash state wrong")
+	}
+	if got := in.NodeSlowdown(1, 1.1); got != 4 {
+		t.Fatalf("straggler slowdown = %v, want 4", got)
+	}
+	if got := in.NodeSlowdown(1, 2.5); got != 1 {
+		t.Fatalf("slowdown after window = %v, want 1", got)
+	}
+	if got := in.MsgDelaySeconds(3, 1.1); got != 0.02 {
+		t.Fatalf("msg delay = %v, want 0.02", got)
+	}
+	if in.TakeDrop(3) {
+		t.Fatal("drop fired before its event")
+	}
+	in.Advance(1.6)
+	if !in.TakeDrop(3) || in.TakeDrop(3) {
+		t.Fatal("each MsgDrop event must drop exactly one message")
+	}
+
+	// Inside the transient window the ladder 0.01+0.02 clears the 0.1s
+	// window end (1.6 -> 1.55 boundary already past? window end = 1.6):
+	retries, backoff, degraded := in.OSTPenalty(0, 1.55)
+	if retries == 0 || backoff <= 0 {
+		t.Fatalf("transient window priced no retries (r=%d b=%v)", retries, backoff)
+	}
+	if degraded {
+		t.Fatal("window clearable inside retry budget must not degrade the target")
+	}
+	if r2, b2, _ := in.OSTPenalty(0, 1.7); r2 != 0 || b2 != 0 {
+		t.Fatalf("post-window access still priced retries (r=%d b=%v)", r2, b2)
+	}
+
+	if got := in.Counts()["node-crash"]; got != 1 {
+		t.Fatalf("crash count = %d, want 1", got)
+	}
+}
+
+func TestInjectorEscalatesExhaustedWindow(t *testing.T) {
+	plan := &Plan{
+		Spec: Spec{RetryBackoff: 0.001, MaxRetries: 2},
+		Events: []Event{
+			{Kind: OSTTransient, Time: 0.1, Node: -1, Target: 5, Duration: 10},
+		},
+	}
+	in := NewInjector(plan)
+	in.Advance(0.2)
+	retries, _, degraded := in.OSTPenalty(5, 0.2)
+	if retries != 2 || !degraded {
+		t.Fatalf("long window: retries=%d degraded=%v, want 2/true", retries, degraded)
+	}
+	if in.Escalations() != 1 {
+		t.Fatalf("escalations = %d, want 1", in.Escalations())
+	}
+	// Once degraded, stays degraded.
+	if _, _, d := in.OSTPenalty(5, 20); !d {
+		t.Fatal("degradation did not persist")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Horizon: -1},
+		{Horizon: 1, NodeCrashMTBF: -2},
+		{Horizon: 1, MemCollapseMTBF: 1, CollapseFraction: 1.5},
+		{Horizon: 1, StragglerMTBF: 1, StragglerFactor: 0.5},
+		{Horizon: 1, OSTTransientMTBF: 1, DegradedFactor: 1, RetryBackoff: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d validated but should not: %+v", i, s)
+		}
+	}
+	if err := DefaultSpec(1, 1).Validate(); err != nil {
+		t.Errorf("default spec rejected: %v", err)
+	}
+}

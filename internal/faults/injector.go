@@ -1,0 +1,243 @@
+package faults
+
+import (
+	"sort"
+
+	"mcio/internal/obs"
+)
+
+// Injector replays a Plan against a simulated clock. The cost loop
+// calls Advance at each round boundary to learn which events fired
+// since the last boundary, then queries per-node and per-target state
+// while building the round. All methods are deterministic given the
+// same call sequence; the Injector is not safe for concurrent use.
+type Injector struct {
+	spec   Spec
+	events []Event
+	next   int
+	now    float64
+
+	dead         map[int]bool    // crashed hosts
+	stragglerEnd map[int]float64 // node -> window end
+	stragglerFac map[int]float64 // node -> slowdown factor
+	delayEnd     map[int]float64 // node -> msg-delay window end
+	delaySec     map[int]float64 // node -> seconds added per message
+	dropPending  map[int]int     // node -> undelivered drop events
+	ostWindowEnd map[int]float64 // target -> transient-error window end
+	ostDegraded  map[int]bool    // target -> permanently degraded
+
+	counts    map[Kind]int
+	escalated int // transient windows that exhausted the retry budget
+
+	o        *obs.Observer
+	injected map[Kind]*obs.Counter
+}
+
+// NewInjector builds an injector for plan. A nil plan yields an empty
+// injector (Empty reports true and every query is a no-op).
+func NewInjector(plan *Plan) *Injector {
+	in := &Injector{
+		dead:         map[int]bool{},
+		stragglerEnd: map[int]float64{},
+		stragglerFac: map[int]float64{},
+		delayEnd:     map[int]float64{},
+		delaySec:     map[int]float64{},
+		dropPending:  map[int]int{},
+		ostWindowEnd: map[int]float64{},
+		ostDegraded:  map[int]bool{},
+		counts:       map[Kind]int{},
+		injected:     map[Kind]*obs.Counter{},
+	}
+	if plan != nil {
+		in.spec = plan.Spec
+		in.events = plan.Events
+	}
+	return in
+}
+
+// Spec returns the spec the injector's plan was generated from.
+func (in *Injector) Spec() Spec { return in.spec }
+
+// Empty reports whether the injector has no events at all; callers use
+// it to take the fault-free fast path (byte-identical to no injector).
+func (in *Injector) Empty() bool { return in == nil || len(in.events) == 0 }
+
+// SetObserver attaches metrics; injected events are counted under
+// faults.injected{kind}.
+func (in *Injector) SetObserver(o *obs.Observer) {
+	if in == nil {
+		return
+	}
+	in.o = o
+	in.injected = map[Kind]*obs.Counter{}
+}
+
+// Advance moves the fault clock to now (simulated seconds) and returns
+// the events that fired in (previous, now], already applied to the
+// injector's per-node and per-target state. Time never moves backward.
+func (in *Injector) Advance(now float64) []Event {
+	if in == nil {
+		return nil
+	}
+	if now < in.now {
+		now = in.now
+	}
+	in.now = now
+	var fired []Event
+	for in.next < len(in.events) && in.events[in.next].Time <= now {
+		ev := in.events[in.next]
+		in.next++
+		in.apply(ev)
+		fired = append(fired, ev)
+	}
+	return fired
+}
+
+func (in *Injector) apply(ev Event) {
+	in.counts[ev.Kind]++
+	if in.o != nil {
+		c := in.injected[ev.Kind]
+		if c == nil {
+			c = in.o.Counter("faults.injected", obs.L("kind", ev.Kind.String()))
+			in.injected[ev.Kind] = c
+		}
+		c.Inc()
+	}
+	switch ev.Kind {
+	case NodeCrash:
+		in.dead[ev.Node] = true
+	case MemCollapse:
+		// State lives with the FaultHandler (it owns the memory model);
+		// the injector only counts and reports the event.
+	case Straggler:
+		end := ev.Time + ev.Duration
+		if end > in.stragglerEnd[ev.Node] {
+			in.stragglerEnd[ev.Node] = end
+			in.stragglerFac[ev.Node] = ev.Severity
+		}
+	case MsgDelay:
+		end := ev.Time + ev.Duration
+		if end > in.delayEnd[ev.Node] {
+			in.delayEnd[ev.Node] = end
+			in.delaySec[ev.Node] = ev.Severity
+		}
+	case MsgDrop:
+		in.dropPending[ev.Node]++
+	case OSTTransient:
+		end := ev.Time + ev.Duration
+		if end > in.ostWindowEnd[ev.Target] {
+			in.ostWindowEnd[ev.Target] = end
+		}
+	case OSTPermanent:
+		in.ostDegraded[ev.Target] = true
+	}
+}
+
+// NodeDead reports whether node has crashed as of the last Advance.
+func (in *Injector) NodeDead(node int) bool {
+	return in != nil && in.dead[node]
+}
+
+// DeadNodes returns the crashed hosts in ascending order.
+func (in *Injector) DeadNodes() []int {
+	if in == nil {
+		return nil
+	}
+	var out []int
+	for n := range in.dead {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NodeSlowdown returns the bandwidth divisor for node at time now: 1
+// when healthy, the straggler factor while inside a straggler window.
+func (in *Injector) NodeSlowdown(node int, now float64) float64 {
+	if in == nil {
+		return 1
+	}
+	if end, ok := in.stragglerEnd[node]; ok && now < end {
+		return in.stragglerFac[node]
+	}
+	return 1
+}
+
+// MsgDelaySeconds returns the per-message latency added to messages
+// leaving node at time now (0 when healthy).
+func (in *Injector) MsgDelaySeconds(node int, now float64) float64 {
+	if in == nil {
+		return 0
+	}
+	if end, ok := in.delayEnd[node]; ok && now < end {
+		return in.delaySec[node]
+	}
+	return 0
+}
+
+// TakeDrop consumes one pending message drop on node, reporting whether
+// a message leaving it is lost. Each MsgDrop event loses exactly one
+// message; consumption order is the (deterministic) query order.
+func (in *Injector) TakeDrop(node int) bool {
+	if in == nil || in.dropPending[node] == 0 {
+		return false
+	}
+	in.dropPending[node]--
+	return true
+}
+
+// OSTPenalty prices one access to target at time now: the number of
+// retries the transient window costs, the total backoff seconds spent
+// on them (the exponential ladder RetryBackoff, 2×, 4×, … until the
+// window ends or MaxRetries is exhausted), and whether the target is
+// (now) permanently degraded. A window that outlives the retry budget
+// escalates the target to degraded.
+func (in *Injector) OSTPenalty(target int, now float64) (retries int, backoffSeconds float64, degraded bool) {
+	if in == nil {
+		return 0, 0, false
+	}
+	if end, ok := in.ostWindowEnd[target]; ok && now < end {
+		step := in.spec.RetryBackoff
+		if step <= 0 {
+			step = 1e-4
+		}
+		max := in.spec.MaxRetries
+		if max < 1 {
+			max = 1
+		}
+		for retries < max && now+backoffSeconds < end {
+			backoffSeconds += step
+			step *= 2
+			retries++
+		}
+		if now+backoffSeconds < end && !in.ostDegraded[target] {
+			// Retry budget exhausted inside the window: the target is
+			// failed over to degraded service for the rest of the run.
+			in.ostDegraded[target] = true
+			in.escalated++
+		}
+	}
+	return retries, backoffSeconds, in.ostDegraded[target]
+}
+
+// Counts returns how many events of each kind have fired so far, keyed
+// by Kind.String() for reporting.
+func (in *Injector) Counts() map[string]int {
+	out := map[string]int{}
+	if in == nil {
+		return out
+	}
+	for k, n := range in.counts {
+		out[k.String()] = n
+	}
+	return out
+}
+
+// Escalations returns how many transient OST windows exhausted the
+// retry budget and escalated to permanent degradation.
+func (in *Injector) Escalations() int {
+	if in == nil {
+		return 0
+	}
+	return in.escalated
+}

@@ -13,6 +13,7 @@ package memmodel
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 
 	"mcio/internal/machine"
@@ -226,6 +227,67 @@ func (t *Tracker) Release(node int, bytes int64) {
 	} else {
 		t.overrun[node] = -t.avail[node]
 	}
+}
+
+// SetAvail rewrites a node's total memory budget to bytes mid-run,
+// keeping existing reservations booked against the new budget: the
+// remaining availability becomes bytes - reserved, and the overrun (the
+// reserved bytes the new budget can no longer back — the amount that
+// will page) is recomputed. The new budget is published as the node's
+// memmodel.avail_bytes gauge when an observer is attached.
+func (t *Tracker) SetAvail(node int, bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	t.avail[node] = bytes - t.reserved[node]
+	if t.avail[node] >= 0 {
+		t.overrun[node] = 0
+	} else {
+		t.overrun[node] = -t.avail[node]
+	}
+	if t.o != nil {
+		t.o.Gauge("memmodel.avail_bytes", obs.L("node", strconv.Itoa(node))).Set(float64(bytes))
+	}
+}
+
+// Collapse removes fraction (clamped to [0,1]) of a node's current
+// memory budget — the mid-operation availability collapse a co-resident
+// application causes — and returns the new budget. Reservations stay
+// booked; Severity reports how badly they now over-commit the node.
+func (t *Tracker) Collapse(node int, fraction float64) int64 {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	budget := t.avail[node] + t.reserved[node]
+	if budget < 0 {
+		budget = 0
+	}
+	budget = int64(math.Round(float64(budget) * (1 - fraction)))
+	t.SetAvail(node, budget)
+	if t.o != nil {
+		l := obs.L("node", strconv.Itoa(node))
+		t.o.Counter("memmodel.collapse_events", l).Inc()
+	}
+	return budget
+}
+
+// Severity returns the paged fraction of a node's reservations in
+// [0, 1]: 0 when every reserved byte is backed by the budget, 1 when
+// none is. This is the PagedSeverity the cost engine charges for, so a
+// mid-run SetAvail or Collapse immediately recomputes what the next
+// round pays.
+func (t *Tracker) Severity(node int) float64 {
+	if t.reserved[node] <= 0 {
+		return 0
+	}
+	s := float64(t.overrun[node]) / float64(t.reserved[node])
+	if s > 1 {
+		s = 1
+	}
+	return s
 }
 
 // ConsumptionSummary summarizes the reserved bytes per node that host at

@@ -1,0 +1,123 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mcio/internal/obs"
+)
+
+// countdownFault fails the first n accesses to each listed target, then
+// heals — a transient OST error window.
+func countdownFault(n int, targets ...int) FaultFunc {
+	left := map[int]int{}
+	for _, t := range targets {
+		left[t] = n
+	}
+	return func(target int, write bool) error {
+		if left[target] > 0 {
+			left[target]--
+			return errors.New("EIO: transient")
+		}
+		return nil
+	}
+}
+
+func TestTransientFaultRetriesAndSucceeds(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.StripeUnit = 64
+	fs, err := NewFileSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	fs.SetObserver(o)
+	fs.SetFaults(countdownFault(2, 0), RetryPolicy{MaxRetries: 5, BackoffSeconds: 0.01})
+
+	f := fs.Open("t")
+	data := []byte("hello, faulted target zero")
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatalf("write under transient fault: %v", err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted by retry path")
+	}
+	if fs.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", fs.Retries())
+	}
+	// Backoff doubles: 0.01 + 0.02.
+	if want := 0.03; fs.RetryBackoffSeconds() < want-1e-9 || fs.RetryBackoffSeconds() > want+1e-9 {
+		t.Fatalf("backoff = %v, want %v", fs.RetryBackoffSeconds(), want)
+	}
+	if v := o.Counter("pfs.retries", obs.L("ost", "0")).Value(); v != 2 {
+		t.Fatalf("pfs.retries{ost=0} = %d, want 2", v)
+	}
+}
+
+func TestPermanentFaultExhaustsRetries(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.StripeUnit = 64
+	fs, err := NewFileSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaults(func(target int, write bool) error {
+		if target == 1 && write {
+			return errors.New("EIO: dead OST")
+		}
+		return nil
+	}, RetryPolicy{MaxRetries: 3, BackoffSeconds: 0.001})
+
+	f := fs.Open("t")
+	// 128 bytes spans both targets with 64-byte stripes.
+	_, err = f.WriteAt(make([]byte, 128), 0)
+	if err == nil {
+		t.Fatal("write to a permanently failed OST succeeded")
+	}
+	for _, want := range []string{"target 1", "3 retries", "dead OST"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	// Reads on the same OST fail too when the fault covers reads.
+	fs.SetFaults(func(target int, write bool) error {
+		return fmt.Errorf("EIO: target %d down", target)
+	}, RetryPolicy{MaxRetries: 1})
+	if _, err := f.ReadAt(make([]byte, 10), 0); err == nil {
+		t.Fatal("read through a failed OST succeeded")
+	}
+}
+
+func TestNilFaultFuncFullyInert(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.StripeUnit = 32
+	fs, err := NewFileSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fs.Open("t")
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if _, err := f.WriteAt(data, 13); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 13); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip failed")
+	}
+	if fs.Retries() != 0 || fs.RetryBackoffSeconds() != 0 {
+		t.Fatal("fault accounting moved without a fault func")
+	}
+}

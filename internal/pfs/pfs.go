@@ -79,6 +79,9 @@ type FileSystem struct {
 	obsWritten []*obs.Counter
 	obsRead    []*obs.Counter
 	obsReqs    []*obs.Counter
+	obsRetries []*obs.Counter
+
+	faultState
 }
 
 // NewFileSystem creates an empty file system with the given layout.
@@ -100,24 +103,27 @@ func (fs *FileSystem) Config() Config { return fs.cfg }
 func (fs *FileSystem) Stats() *TargetStats { return fs.stats }
 
 // SetObserver attaches per-OST metrics to the file system:
-// pfs.bytes_written{ost}, pfs.bytes_read{ost}, and pfs.requests{ost}
-// (one request per contiguous object access). A nil observer detaches.
+// pfs.bytes_written{ost}, pfs.bytes_read{ost}, pfs.requests{ost}
+// (one request per contiguous object access), and pfs.retries{ost}
+// (accesses re-issued after an injected fault). A nil observer detaches.
 // Call before issuing I/O; counters are safe for concurrent writers.
 func (fs *FileSystem) SetObserver(o *obs.Observer) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if o == nil || o.Metrics == nil {
-		fs.obsWritten, fs.obsRead, fs.obsReqs = nil, nil, nil
+		fs.obsWritten, fs.obsRead, fs.obsReqs, fs.obsRetries = nil, nil, nil, nil
 		return
 	}
 	fs.obsWritten = make([]*obs.Counter, fs.cfg.Targets)
 	fs.obsRead = make([]*obs.Counter, fs.cfg.Targets)
 	fs.obsReqs = make([]*obs.Counter, fs.cfg.Targets)
+	fs.obsRetries = make([]*obs.Counter, fs.cfg.Targets)
 	for t := 0; t < fs.cfg.Targets; t++ {
 		l := obs.L("ost", strconv.Itoa(t))
 		fs.obsWritten[t] = o.Counter("pfs.bytes_written", l)
 		fs.obsRead[t] = o.Counter("pfs.bytes_read", l)
 		fs.obsReqs[t] = o.Counter("pfs.requests", l)
+		fs.obsRetries[t] = o.Counter("pfs.retries", l)
 	}
 }
 
@@ -227,8 +233,11 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 			obj = grown
 			f.objects[target] = obj
 		}
-		copy(obj[objOff:objOff+int64(n)], p[pos:pos+n])
 		fsTarget := f.layout.mapTarget(f.fs.cfg, target)
+		if err := f.fs.access(fsTarget, true); err != nil {
+			return pos, fmt.Errorf("pfs: WriteAt %s: %w", f.name, err)
+		}
+		copy(obj[objOff:objOff+int64(n)], p[pos:pos+n])
 		f.fs.stats.RecordWrite(fsTarget, int64(n))
 		f.fs.observe(fsTarget, int64(n), true)
 		pos += n
@@ -241,7 +250,8 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 
 // ReadAt reads len(p) bytes at file offset off. Bytes beyond the file size
 // or never written read as zero, matching sparse-file semantics; n is
-// always len(p) with a nil error for non-negative offsets.
+// len(p) with a nil error for non-negative offsets unless an injected
+// fault exhausts its retries.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pfs: ReadAt %s: negative offset %d", f.name, off)
@@ -261,6 +271,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			n = rem
 		}
 		fsTarget := f.layout.mapTarget(f.fs.cfg, target)
+		if err := f.fs.access(fsTarget, false); err != nil {
+			return pos, fmt.Errorf("pfs: ReadAt %s: %w", f.name, err)
+		}
 		f.fs.stats.RecordRead(fsTarget, int64(n))
 		f.fs.observe(fsTarget, int64(n), false)
 		obj := f.objects[target]

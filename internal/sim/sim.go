@@ -128,6 +128,10 @@ type IOOp struct {
 	Requests   int   // number of distinct requests this access costs
 	Contiguous bool  // whether the access streams contiguously
 	Write      bool  // direction; pricing is symmetric but totals separate
+	// DelaySeconds is extra service time charged to the target beyond
+	// the request/stream model — retry backoff or degraded-target
+	// penalties from fault injection. Zero for healthy accesses.
+	DelaySeconds float64
 }
 
 // Round is one step of a collective operation.
@@ -174,6 +178,12 @@ type Totals struct {
 	ShufBytes int64 // all shuffled bytes incl. intra-node
 	IOBytes   int64
 	Requests  int
+	// RecoverySeconds is the simulated time spent on failure handling:
+	// detection stalls, reboot waits, and recovery rounds. Included in
+	// Time; zero on fault-free runs.
+	RecoverySeconds float64
+	// RecoveryRounds counts rounds priced via RunRecoveryRound.
+	RecoveryRounds int
 	// PerNodeShuffle records shuffled bytes through each node that hosted
 	// an aggregator or endpoint, for memory-pressure reporting.
 	PerNodeShuffle map[int]int64
@@ -235,19 +245,23 @@ type TraceEntry struct {
 	IOBytes   int64
 	// Binding is the round's bottleneck attribution.
 	Binding Binding
+	// Recovery marks rounds priced via RunRecoveryRound (failure
+	// handling, not user data movement).
+	Recovery bool
 }
 
 // Engine prices rounds against a machine design point and storage
 // parameters. It is not safe for concurrent use.
 type Engine struct {
-	mc      machine.Config
-	st      StorageParams
-	opt     Options
-	aggsPer map[int]int     // node -> active aggregator count
-	paged   map[int]float64 // node -> worst paging severity present
-	totals  Totals
-	trace   []TraceEntry
-	eo      *engineObs
+	mc       machine.Config
+	st       StorageParams
+	opt      Options
+	aggsPer  map[int]int     // node -> active aggregator count
+	paged    map[int]float64 // node -> worst paging severity present
+	slowdown map[int]float64 // node -> straggler bandwidth divisor (> 1)
+	totals   Totals
+	trace    []TraceEntry
+	eo       *engineObs
 }
 
 // Track id conventions for engine-emitted spans. Tid 1 holds the
@@ -347,12 +361,13 @@ func NewEngine(mc machine.Config, st StorageParams, opt Options) (*Engine, error
 		return nil, err
 	}
 	return &Engine{
-		mc:      mc,
-		st:      st,
-		opt:     opt,
-		aggsPer: map[int]int{},
-		paged:   map[int]float64{},
-		totals:  Totals{PerNodeShuffle: map[int]int64{}},
+		mc:       mc,
+		st:       st,
+		opt:      opt,
+		aggsPer:  map[int]int{},
+		paged:    map[int]float64{},
+		slowdown: map[int]float64{},
+		totals:   Totals{PerNodeShuffle: map[int]int64{}},
 	}, nil
 }
 
@@ -387,6 +402,37 @@ func (e *Engine) SetAggregators(aggs []AggregatorPlacement) {
 	}
 }
 
+// SetNodeSlowdown declares a straggler: node's NIC and DRAM bandwidth
+// are divided by factor until the next call. Factor <= 1 clears it.
+func (e *Engine) SetNodeSlowdown(node int, factor float64) {
+	if factor <= 1 {
+		delete(e.slowdown, node)
+		return
+	}
+	e.slowdown[node] = factor
+}
+
+// SetNodePaged updates one node's paging severity mid-operation (e.g.
+// after a memory collapse) without re-declaring the whole aggregator
+// placement. Severity is clamped to [0, 1].
+func (e *Engine) SetNodePaged(node int, severity float64) {
+	if severity < 0 {
+		severity = 0
+	}
+	if severity > 1 {
+		severity = 1
+	}
+	e.paged[node] = severity
+}
+
+// nodeSlowdown returns node's straggler bandwidth divisor (1 = healthy).
+func (e *Engine) nodeSlowdown(node int) float64 {
+	if f, ok := e.slowdown[node]; ok {
+		return f
+	}
+	return 1
+}
+
 // pagedSlowdown returns the multiplicative slowdown of everything an
 // aggregator on this node touches once its buffer pages: a paged
 // aggregation buffer stalls the copy into/out of the buffer, the NIC
@@ -405,7 +451,7 @@ func (e *Engine) pagedSlowdown(node int) float64 {
 // effMemBW returns the node's effective off-chip bandwidth for shuffle
 // traffic given paging state and aggregator contention.
 func (e *Engine) effMemBW(node int) float64 {
-	bw := e.mc.MemBandwidth / e.pagedSlowdown(node)
+	bw := e.mc.MemBandwidth / e.pagedSlowdown(node) / e.nodeSlowdown(node)
 	if k := e.aggsPer[node]; k > e.opt.NahOpt {
 		bw /= 1 + e.opt.ContentionBeta*float64(k-e.opt.NahOpt)
 	}
@@ -428,7 +474,15 @@ type targetLoad struct {
 }
 
 // RunRound prices one round and accumulates it into the totals.
-func (e *Engine) RunRound(r Round) RoundCost {
+func (e *Engine) RunRound(r Round) RoundCost { return e.runRound(r, false) }
+
+// RunRecoveryRound prices a round of failure-handling traffic (e.g. the
+// metadata re-exchange after an aggregator failover). It is priced by
+// the same bottleneck model but attributed to recovery in the totals
+// and trace.
+func (e *Engine) RunRecoveryRound(r Round) RoundCost { return e.runRound(r, true) }
+
+func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 	loads := map[int]*nodeLoad{}
 	load := func(n int) *nodeLoad {
 		l := loads[n]
@@ -500,9 +554,13 @@ func (e *Engine) RunRound(r Round) RoundCost {
 			tl = &targetLoad{}
 			targets[op.Target] = tl
 		}
-		// A paged issuing node drains/fills its aggregation buffer at
-		// paged speed, throttling the storage access it drives.
-		tl.time += (e.st.ReqOverhead*float64(op.Requests) + stream) * e.pagedSlowdown(op.Node)
+		if op.DelaySeconds < 0 {
+			panic("sim: negative I/O delay")
+		}
+		// A paged or straggling issuing node drains/fills its aggregation
+		// buffer at degraded speed, throttling the storage access it
+		// drives; injected retry/degradation delay is charged on top.
+		tl.time += (e.st.ReqOverhead*float64(op.Requests)+stream)*e.pagedSlowdown(op.Node)*e.nodeSlowdown(op.Node) + op.DelaySeconds
 		tl.bytes += op.Bytes
 		tl.requests += op.Requests
 		if !op.Contiguous {
@@ -541,7 +599,7 @@ func (e *Engine) RunRound(r Round) RoundCost {
 	nodeTime := make([]float64, len(nodeIDs))
 	for i, n := range nodeIDs {
 		l := loads[n]
-		slow := e.pagedSlowdown(n)
+		slow := e.pagedSlowdown(n) * e.nodeSlowdown(n)
 		tout := float64(l.out) / e.mc.NICBandwidth * slow
 		tin := float64(l.in) / e.mc.NICBandwidth * slow
 		tm := float64(l.mem) / e.effMemBW(n)
@@ -586,6 +644,10 @@ func (e *Engine) RunRound(r Round) RoundCost {
 	e.totals.CommTime += comm
 	e.totals.IOTime += io
 	e.totals.Time += rc.Time
+	if recovery {
+		e.totals.RecoveryRounds++
+		e.totals.RecoverySeconds += rc.Time
+	}
 
 	var commBytes, ioBytes int64
 	for _, m := range r.Messages {
@@ -603,10 +665,11 @@ func (e *Engine) RunRound(r Round) RoundCost {
 			CommBytes: commBytes,
 			IOBytes:   ioBytes,
 			Binding:   binding,
+			Recovery:  recovery,
 		})
 	}
 	if eo := e.eo; eo != nil {
-		eo.emitRound(round, start, rc, e.opt.Overlap, binding, nodeIDs, nodeTime, loads, targetIDs, targets, commBytes, ioBytes)
+		eo.emitRound(round, start, rc, e.opt.Overlap, binding, nodeIDs, nodeTime, loads, targetIDs, targets, commBytes, ioBytes, recovery)
 	}
 	return rc
 }
@@ -626,11 +689,16 @@ func (eo *engineObs) emitRound(
 	targetIDs []int,
 	targets map[int]*targetLoad,
 	commBytes, ioBytes int64,
+	recovery bool,
 ) {
 	eo.counter("sim.rounds", "", 0).Inc()
 	eo.counter("sim.shuffle_bytes", "", 0).Add(commBytes)
 	eo.counter("sim.io_bytes", "", 0).Add(ioBytes)
 	eo.histogram("sim.round_seconds", "", 0).Observe(rc.Time)
+	if recovery {
+		eo.counter("sim.recovery_rounds", "", 0).Inc()
+		eo.histogram("sim.recovery_seconds", "", 0).Observe(rc.Time)
+	}
 	for i, n := range nodeIDs {
 		l := loads[n]
 		eo.counter("net.bytes_out", "node", n).Add(l.out)
@@ -649,7 +717,11 @@ func (eo *engineObs) emitRound(
 	if tr == nil {
 		return
 	}
-	roundSpan := tr.Begin(eo.pid, TIDTimeline, fmt.Sprintf("round %d", round), start,
+	name := fmt.Sprintf("round %d", round)
+	if recovery {
+		name = fmt.Sprintf("recovery round %d", round)
+	}
+	roundSpan := tr.Begin(eo.pid, TIDTimeline, name, start,
 		obs.A("binding", binding.String()),
 		obs.A("comm_bytes", strconv.FormatInt(commBytes, 10)),
 		obs.A("io_bytes", strconv.FormatInt(ioBytes, 10)))
@@ -709,6 +781,30 @@ func (e *Engine) AddLatency(seconds float64) {
 	}
 	e.totals.Time += seconds
 	e.totals.CommTime += seconds
+}
+
+// AddRecoveryLatency charges time spent purely on failure handling — a
+// detection delay before a failover or the baseline's reboot stall —
+// attributing it to recovery in the totals and, when tracing, as a span
+// named after kind on the timeline track.
+func (e *Engine) AddRecoveryLatency(seconds float64, kind string) {
+	if seconds < 0 {
+		panic("sim: negative recovery latency")
+	}
+	if seconds == 0 {
+		return
+	}
+	start := e.totals.Time
+	e.totals.Time += seconds
+	e.totals.RecoverySeconds += seconds
+	if eo := e.eo; eo != nil {
+		eo.counter("sim.recovery_stalls", "", 0).Inc()
+		eo.histogram("sim.recovery_seconds", "", 0).Observe(seconds)
+		if tr := eo.o.Tracer(); tr != nil {
+			span := tr.Begin(eo.pid, TIDTimeline, "recovery: "+kind, start)
+			span.End(start + seconds)
+		}
+	}
 }
 
 // Totals returns a copy of the accumulated accounting.

@@ -1,0 +1,83 @@
+package twophase
+
+import (
+	"mcio/internal/collio"
+	"mcio/internal/faults"
+)
+
+// StallRetry is the baseline's recovery policy (collio.FaultHandler):
+// no failover. A crashed aggregator host is waited out — the classic
+// checkpoint-restart reflex — and the same placement retries after
+// StallSeconds. A memory collapse is not even noticed by the planner;
+// the fixed collective buffer stays put and the shortfall pages, so
+// the only reaction is a higher PagedSeverity on the affected domains.
+// This is the foil the memory-conscious Failover is measured against.
+type StallRetry struct {
+	StallSeconds float64
+	avail        []int64
+}
+
+// NewStallRetry builds the handler over a copy of the per-node
+// availability the plan was built from, so collapses compound across
+// events without mutating the caller's vector.
+func NewStallRetry(avail []int64, stallSeconds float64) *StallRetry {
+	return &StallRetry{
+		StallSeconds: stallSeconds,
+		avail:        append([]int64(nil), avail...),
+	}
+}
+
+// Name implements collio.FaultHandler.
+func (s *StallRetry) Name() string { return "two-phase stall-retry" }
+
+// OnHostFault implements collio.FaultHandler.
+func (s *StallRetry) OnHostFault(ctx *collio.Context, hf collio.HostFault,
+	live []collio.Domain, affected []int) ([]collio.Reassignment, error) {
+	var ras []collio.Reassignment
+	switch hf.Kind {
+	case faults.MemCollapse:
+		if hf.Node >= 0 && hf.Node < len(s.avail) {
+			frac := hf.Severity
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			s.avail[hf.Node] = int64(float64(s.avail[hf.Node]) * (1 - frac))
+		}
+		for _, di := range affected {
+			d := live[di]
+			sev := d.PagedSeverity
+			if d.BufferBytes > 0 && hf.Node < len(s.avail) {
+				if avail := s.avail[hf.Node]; avail < d.BufferBytes {
+					if ns := float64(d.BufferBytes-avail) / float64(d.BufferBytes); ns > sev {
+						sev = ns
+					}
+				}
+			}
+			ras = append(ras, collio.Reassignment{
+				Domain:        di,
+				MergeInto:     -1,
+				Aggregator:    d.Aggregator,
+				AggNode:       d.AggNode,
+				BufferBytes:   d.BufferBytes,
+				PagedSeverity: sev,
+			})
+		}
+	default: // NodeCrash: stall, then retry the identical placement.
+		for _, di := range affected {
+			d := live[di]
+			ras = append(ras, collio.Reassignment{
+				Domain:        di,
+				MergeInto:     -1,
+				Aggregator:    d.Aggregator,
+				AggNode:       d.AggNode,
+				BufferBytes:   d.BufferBytes,
+				PagedSeverity: d.PagedSeverity,
+				StallSeconds:  s.StallSeconds,
+			})
+		}
+	}
+	return ras, nil
+}
