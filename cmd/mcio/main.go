@@ -14,11 +14,21 @@
 //	mcio -exp all                   # everything above
 //
 // The observe subcommand runs one figure workload with full
-// observability and exports a Chrome/Perfetto trace (simulated time) and
-// a metrics snapshot; -faults adds seeded fault injection to the run:
+// observability and exports a Chrome/Perfetto trace (simulated time), a
+// metrics snapshot (JSON, CSV or Prometheus text), and a collapsed-stack
+// flamegraph of the critical path; -faults adds seeded fault injection:
 //
 //	mcio observe fig7 -trace-out trace.json -metrics-out metrics.json
+//	mcio observe fig6 -flame-out fig6.folded
 //	mcio observe fig7 -faults 2 -trace-out faulted.json
+//
+// The bench subcommand runs one experiment and writes its run ledger —
+// a stable versioned JSON record of bandwidth, wall time and per-phase
+// critical-path blame — and diff compares two ledgers, exiting non-zero
+// when the new one regresses beyond tolerance (the CI perf gate):
+//
+//	mcio bench fig6 -out BENCH_fig6.json
+//	mcio diff baselines/BENCH_fig6.json BENCH_fig6.json -tol 0.05
 //
 // -scale divides every byte quantity (1 = paper-exact sizes, slower);
 // -seed drives the availability variance and every fault schedule —
@@ -29,6 +39,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -38,6 +49,7 @@ import (
 	"mcio/internal/machine"
 	"mcio/internal/mpi"
 	"mcio/internal/obs"
+	"mcio/internal/obs/analyze"
 	"mcio/internal/pfs"
 	"mcio/internal/twophase"
 )
@@ -59,7 +71,8 @@ func observe(args []string) error {
 	opName := fs.String("op", "write", "collective direction: write or read")
 	faultRate := fs.Float64("faults", 0, "fault-rate multiplier; > 0 injects seeded faults (crashes, collapses, OST errors) into the run")
 	traceOut := fs.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file here")
-	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot here (.csv extension selects CSV, otherwise JSON)")
+	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot here (.csv selects CSV, .prom the Prometheus text format, otherwise JSON)")
+	flameOut := fs.String("flame-out", "", "write a collapsed-stack flamegraph of the critical path here (flamegraph.pl / inferno / speedscope input)")
 	figure := "fig7"
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		figure = args[0]
@@ -104,15 +117,101 @@ func observe(args []string) error {
 	}
 	if *metricsOut != "" {
 		write := func(f *os.File) error { return obs.WriteMetricsJSON(f, res.Obs.Metrics) }
-		if strings.HasSuffix(*metricsOut, ".csv") {
+		switch {
+		case strings.HasSuffix(*metricsOut, ".csv"):
 			write = func(f *os.File) error { return obs.WriteMetricsCSV(f, res.Obs.Metrics) }
+		case strings.HasSuffix(*metricsOut, ".prom"):
+			write = func(f *os.File) error { return obs.WriteMetricsProm(f, res.Obs.Metrics) }
 		}
 		if err := writeFile(*metricsOut, write); err != nil {
 			return err
 		}
 		fmt.Printf("wrote metrics %s\n", *metricsOut)
 	}
+	if *flameOut != "" {
+		a := analyze.Analyze(res.Obs.Trace)
+		if err := writeFile(*flameOut, func(f *os.File) error {
+			return analyze.WriteFlame(f, a)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote flamegraph %s\n", *flameOut)
+		for _, p := range a.Processes {
+			fmt.Print(p.RenderBlame())
+		}
+	}
 	return nil
+}
+
+// runBench is the `mcio bench` subcommand: run one experiment and write
+// its run ledger. out is where the ledger goes when -out is empty.
+func runBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mcio bench [%s] [flags]\n", strings.Join(bench.LedgerExperiments, "|"))
+		fs.PrintDefaults()
+	}
+	scale := fs.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
+	seed := fs.Uint64("seed", 42, "seed for the availability variance and fault schedules")
+	outPath := fs.String("out", "", "write the run ledger JSON here (default: stdout)")
+	name := "fig6"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name = args[0]
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec, err := bench.Ledger(name, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return obs.WriteRunRecord(out, rec)
+	}
+	if err := obs.SaveRunRecord(*outPath, rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote ledger %s (%d entries)\n", *outPath, len(rec.Entries))
+	return nil
+}
+
+// runDiff is the `mcio diff` subcommand: compare two run ledgers and
+// report regressions. Returns the process exit code — 0 clean, 1 when
+// the new ledger regresses beyond tolerance — plus any hard error.
+func runDiff(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mcio diff [flags] old.json new.json")
+		fs.PrintDefaults()
+	}
+	tol := fs.Float64("tol", obs.DefaultDiffTol, "relative bandwidth-drop tolerance (0.05 = 5%)")
+	wallTol := fs.Float64("wall-tol", 0, "relative wall-time-rise tolerance (default: same as -tol)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	paths := fs.Args()
+	if len(paths) != 2 {
+		return 2, fmt.Errorf("diff wants exactly two ledger files, got %d", len(paths))
+	}
+	oldRec, err := obs.LoadRunRecord(paths[0])
+	if err != nil {
+		return 2, err
+	}
+	newRec, err := obs.LoadRunRecord(paths[1])
+	if err != nil {
+		return 2, err
+	}
+	wt := *wallTol
+	if wt == 0 {
+		wt = *tol
+	}
+	res := obs.DiffRunRecords(oldRec, newRec, obs.DiffOptions{BandwidthTol: *tol, WallTol: wt})
+	fmt.Fprint(out, res.Render())
+	if len(res.Regressions()) > 0 {
+		return 1, nil
+	}
+	return 0, nil
 }
 
 // writeFile creates path, runs write on it, and reports the first error.
@@ -129,22 +228,48 @@ func writeFile(path string, write func(*os.File) error) error {
 }
 
 // allExperiments lists every -exp value, in the order `-exp all` runs
-// them.
+// them — the single source of truth for the -exp usage text and the
+// unknown-experiment error.
 var allExperiments = []string{
 	"table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
 	"motivation", "comparison", "random", "plan", "scaling",
-	"trajectory", "trace", "tune", "ablation", "faults",
+	"trajectory", "blame", "trace", "tune", "ablation", "faults",
+}
+
+// expUsage renders the -exp flag's usage text from allExperiments.
+func expUsage() string {
+	return "experiment: " + strings.Join(allExperiments, ", ") + ", all"
+}
+
+// unknownExpErr renders the unknown-experiment error from the same list.
+func unknownExpErr(name string) error {
+	return fmt.Errorf("unknown experiment %q (valid: %s, all)", name, strings.Join(allExperiments, ", "))
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "observe" {
-		if err := observe(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "mcio observe:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "observe":
+			if err := observe(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "mcio observe:", err)
+				os.Exit(1)
+			}
+			return
+		case "bench":
+			if err := runBench(os.Args[2:], os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "mcio bench:", err)
+				os.Exit(1)
+			}
+			return
+		case "diff":
+			code, err := runDiff(os.Args[2:], os.Stdout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcio diff:", err)
+			}
+			os.Exit(code)
 		}
-		return
 	}
-	exp := flag.String("exp", "all", "experiment: table1, fig2, fig4, fig5, fig6, fig7, fig8, motivation, comparison, random, plan, scaling, trajectory, trace, tune, ablation, faults, all")
+	exp := flag.String("exp", "all", expUsage())
 	scale := flag.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
 	seed := flag.Uint64("seed", 42, "seed for the availability variance")
 	details := flag.Bool("details", false, "print per-point aggregator details for figures")
@@ -190,6 +315,12 @@ func main() {
 			return describePlans(*scale, *seed)
 		case "trajectory":
 			t, err := bench.Trajectory(*scale, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+		case "blame":
+			t, err := bench.TrajectoryBlame(*scale, *seed)
 			if err != nil {
 				return err
 			}
@@ -241,7 +372,7 @@ func main() {
 			}
 			fmt.Println(t.Render())
 		default:
-			return fmt.Errorf("unknown experiment %q (valid: %s, all)", name, strings.Join(allExperiments, ", "))
+			return unknownExpErr(name)
 		}
 		return nil
 	}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mcio/internal/bench"
+	"mcio/internal/collio"
+	"mcio/internal/obs"
+	"mcio/internal/obs/analyze"
+)
+
+// testScale keeps CLI-level runs fast; shapes are scale-invariant.
+const testScale = 256
+
+func TestExperimentListSingleSource(t *testing.T) {
+	// The usage text and the unknown-experiment error must both be
+	// derived from allExperiments — every name appears in both.
+	usage := expUsage()
+	errMsg := unknownExpErr("bogus").Error()
+	for _, name := range allExperiments {
+		if !strings.Contains(usage, name) {
+			t.Errorf("usage text misses experiment %q: %s", name, usage)
+		}
+		if !strings.Contains(errMsg, name) {
+			t.Errorf("unknown-exp error misses experiment %q: %s", name, errMsg)
+		}
+	}
+	if !strings.HasSuffix(usage, ", all") || !strings.Contains(errMsg, ", all") {
+		t.Errorf("usage/error must offer 'all': %q / %q", usage, errMsg)
+	}
+}
+
+func TestRunBenchAndDiffCleanExit(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	for _, p := range []string{oldPath, newPath} {
+		var out bytes.Buffer
+		err := runBench([]string{"fig7", "-scale", strconv.Itoa(testScale), "-seed", "1", "-out", p}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "wrote ledger") {
+			t.Fatalf("bench output missing confirmation: %s", out.String())
+		}
+	}
+	var out bytes.Buffer
+	code, err := runDiff([]string{oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("identical ledgers exit %d, want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("diff output missing verdict:\n%s", out.String())
+	}
+}
+
+func TestRunDiffFlagsInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	rec, err := bench.Ledger("fig7", testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.SaveRunRecord(oldPath, rec); err != nil {
+		t.Fatal(err)
+	}
+	// Inject a >5% bandwidth drop into the first entry.
+	rec.Entries[0].BandwidthMBps *= 0.90
+	if err := obs.SaveRunRecord(newPath, rec); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := runDiff([]string{oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("regressed ledger exit %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("diff output missing REGRESSION marker:\n%s", out.String())
+	}
+	// The same drop passes under a 15% tolerance.
+	out.Reset()
+	code, err = runDiff([]string{"-tol", "0.15", oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("10%% drop under 15%% tolerance exit %d, want 0:\n%s", code, out.String())
+	}
+}
+
+func TestRunDiffErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code, err := runDiff([]string{"only-one.json"}, &out); code != 2 || err == nil {
+		t.Fatalf("one-arg diff: code %d err %v, want 2 and error", code, err)
+	}
+	if code, err := runDiff([]string{"nope-a.json", "nope-b.json"}, &out); code != 2 || err == nil {
+		t.Fatalf("missing-file diff: code %d err %v, want 2 and error", code, err)
+	}
+}
+
+// TestObserveFlameSumsToWall is the acceptance check: the collapsed
+// stacks exported for a figure run sum (within rounding) to the run's
+// simulated wall time per process.
+func TestObserveFlameSumsToWall(t *testing.T) {
+	res, err := bench.Observe("fig6", testScale, 42, 16, collio.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyze.Analyze(res.Obs.Trace)
+	flamePath := filepath.Join(t.TempDir(), "fig6.folded")
+	f, err := os.Create(flamePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := analyze.WriteFlame(f, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(flamePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := map[string]int64{} // process frame -> µs
+	lineCount := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := sc.Text()
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed line %q", line)
+		}
+		frames := strings.Split(line[:sp], ";")
+		us, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		totals[frames[0]] += us
+		lineCount[frames[0]]++
+	}
+	if len(totals) == 0 {
+		t.Fatal("flame file empty")
+	}
+	for _, p := range a.Processes {
+		name := strings.ReplaceAll(p.Name, " ", "_")
+		got := totals[name]
+		want := p.Wall * 1e6
+		if math.Abs(float64(got)-want) > float64(lineCount[name])+1 {
+			t.Errorf("process %s: flame total %d µs, wall %.3f µs — off beyond rounding", p.Name, got, want)
+		}
+	}
+}

@@ -239,6 +239,9 @@ func runSweep(cfg Config, wl Workload, workloadName string, strategies []collio.
 	opt := sim.DefaultOptions()
 	opt.Overlap = cfg.Overlap
 	opt.NahOpt = cfg.nahOrDefault()
+	// Per-round traces feed the run ledger's blame attribution; the cost
+	// is a few records per round, negligible next to the pricing itself.
+	opt.Trace = true
 	series := &Series{Name: cfg.Name, Workload: workloadName, Config: cfg}
 	// One standard-normal endowment per node for the whole sweep.
 	nodes := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode

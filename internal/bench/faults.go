@@ -56,15 +56,20 @@ func faultedRun(ctx *collio.Context, reqs []collio.RankRequest, strategy string,
 	return collio.CostWithFaults(ctx, plan, reqs, collio.Write, opt, inj, handler)
 }
 
-// FaultSweep is the resilience experiment (mcio -exp faults): the IOR
-// write workload of Figure 7 priced under increasing fault rates —
-// node crashes, memory collapses, stragglers, OST errors, message
-// faults — comparing the baseline's stall-and-retry against the
-// memory-conscious strategy's remerge-based failover. Reported per
-// (rate, strategy): achieved bandwidth, the overhead versus the
-// fault-free run, time attributed to recovery, and the recovery-action
-// counts. Everything is a deterministic function of (scale, seed).
-func FaultSweep(scale int64, seed uint64) (*Table, error) {
+// FaultPoint is one cell of the resilience sweep: a strategy priced at
+// a fault-rate multiplier, with its fault-free reference time.
+type FaultPoint struct {
+	Rate       float64
+	Strategy   string
+	RefSeconds float64 // fault-free run, the overhead denominator
+	Res        *collio.FaultResult
+	Overlap    bool
+}
+
+// faultSweepRun prices the IOR write workload of Figure 7 under
+// increasing fault rates for both strategies. Everything is a
+// deterministic function of (scale, seed).
+func faultSweepRun(scale int64, seed uint64) ([]FaultPoint, error) {
 	cfg := Fig7Config(scale, seed)
 	cfg.Name = "faults"
 	cfg.MemMB = []int{16}
@@ -86,6 +91,7 @@ func FaultSweep(scale int64, seed uint64) (*Table, error) {
 	opt := sim.DefaultOptions()
 	opt.Overlap = cfg.Overlap
 	opt.NahOpt = cfg.nahOrDefault()
+	opt.Trace = true
 
 	// Fault-free reference per strategy: the overhead denominator and the
 	// fault horizon (schedules span 4× the clean run so mid-operation
@@ -99,11 +105,7 @@ func FaultSweep(scale int64, seed uint64) (*Table, error) {
 		ref[strategy] = res.Seconds
 	}
 
-	t := &Table{
-		Name: "resilience: IOR write under injected faults (120 ranks, 16 MB per aggregator)",
-		Header: []string{"rate", "strategy", "MB/s", "overhead", "recovery s",
-			"failovers", "stalls", "replayed", "ost retries", "events"},
-	}
+	var points []FaultPoint
 	for _, rate := range faultRates() {
 		for _, strategy := range []string{"two-phase", "memory-conscious"} {
 			spec := faults.DefaultSpec(seed, ref[strategy]*4).WithRate(rate)
@@ -111,23 +113,51 @@ func FaultSweep(scale int64, seed uint64) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bench faults: %s at rate %g: %w", strategy, rate, err)
 			}
-			events := 0
-			for _, n := range res.Injected {
-				events += n
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%g", rate),
-				strategy,
-				fmt.Sprintf("%.1f", res.Bandwidth/1e6),
-				fmt.Sprintf("%+.1f%%", (res.Seconds/ref[strategy]-1)*100),
-				fmt.Sprintf("%.4f", res.RecoverySeconds),
-				fmt.Sprintf("%d", res.Failovers),
-				fmt.Sprintf("%d", res.Stalls),
-				fmt.Sprintf("%d", res.ReplayedRounds),
-				fmt.Sprintf("%d", res.StorageRetries),
-				fmt.Sprintf("%d", events),
+			points = append(points, FaultPoint{
+				Rate: rate, Strategy: strategy, RefSeconds: ref[strategy],
+				Res: res, Overlap: opt.Overlap,
 			})
 		}
+	}
+	return points, nil
+}
+
+// FaultSweep is the resilience experiment (mcio -exp faults): the IOR
+// write workload of Figure 7 priced under increasing fault rates —
+// node crashes, memory collapses, stragglers, OST errors, message
+// faults — comparing the baseline's stall-and-retry against the
+// memory-conscious strategy's remerge-based failover. Reported per
+// (rate, strategy): achieved bandwidth, the overhead versus the
+// fault-free run, time attributed to recovery, and the recovery-action
+// counts.
+func FaultSweep(scale int64, seed uint64) (*Table, error) {
+	points, err := faultSweepRun(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name: "resilience: IOR write under injected faults (120 ranks, 16 MB per aggregator)",
+		Header: []string{"rate", "strategy", "MB/s", "overhead", "recovery s",
+			"failovers", "stalls", "replayed", "ost retries", "events"},
+	}
+	for _, pt := range points {
+		res := pt.Res
+		events := 0
+		for _, n := range res.Injected {
+			events += n
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", pt.Rate),
+			pt.Strategy,
+			fmt.Sprintf("%.1f", res.Bandwidth/1e6),
+			fmt.Sprintf("%+.1f%%", (res.Seconds/pt.RefSeconds-1)*100),
+			fmt.Sprintf("%.4f", res.RecoverySeconds),
+			fmt.Sprintf("%d", res.Failovers),
+			fmt.Sprintf("%d", res.Stalls),
+			fmt.Sprintf("%d", res.ReplayedRounds),
+			fmt.Sprintf("%d", res.StorageRetries),
+			fmt.Sprintf("%d", events),
+		})
 	}
 	return t, nil
 }

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mcio/internal/collio"
+	"mcio/internal/obs"
+	"mcio/internal/obs/analyze"
+)
+
+// LedgerExperiments lists every experiment Ledger can run, in display
+// order — the single source of truth for the CLI's usage text.
+var LedgerExperiments = []string{"fig6", "fig7", "fig8", "trajectory", "faults"}
+
+// Ledger runs one experiment and returns its run ledger — the stable
+// obs.RunRecord that `mcio bench -out` writes and `mcio diff` compares.
+// Supported experiments: fig6, fig7, fig8 (the bandwidth sweeps),
+// trajectory (Table 1 interpolation) and faults (the resilience sweep).
+// Every entry carries bandwidth, simulated wall time, round count and
+// the critical-path blame breakdown, so a ledger diff can say not just
+// "fig6 got slower" but "its paging share doubled".
+func Ledger(name string, scale int64, seed uint64) (*obs.RunRecord, error) {
+	rec := &obs.RunRecord{
+		Name: name,
+		Params: map[string]string{
+			"scale": strconv.FormatInt(scale, 10),
+			"seed":  strconv.FormatUint(seed, 10),
+		},
+	}
+	switch name {
+	case "fig6", "fig7", "fig8":
+		var (
+			series *Series
+			err    error
+		)
+		switch name {
+		case "fig6":
+			series, err = Fig6(scale, seed)
+		case "fig7":
+			series, err = Fig7(scale, seed)
+		default:
+			series, err = Fig8(scale, seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range series.Points {
+			rec.Entries = append(rec.Entries, sweepEntry(p, series.Config.Overlap))
+		}
+	case "trajectory":
+		points, err := trajectoryRun(scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range points {
+			for _, strategy := range []string{"two-phase", "memory-conscious"} {
+				res := pt.Results[strategy]
+				e := costEntry(fmt.Sprintf("t=%.2f/%s", pt.T, strategy), res, pt.Overlap)
+				e.Metrics["mem_per_core_bytes"] = float64(pt.MemPerCore)
+				rec.Entries = append(rec.Entries, e)
+			}
+		}
+	case "faults":
+		points, err := faultSweepRun(scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range points {
+			e := costEntry(fmt.Sprintf("rate=%g/%s", pt.Rate, pt.Strategy), &pt.Res.CostResult, pt.Overlap)
+			// Recovery the trace cannot see (detection stalls, reboot
+			// waits) tops up the blame; totals keep summing to wall time.
+			topUpRecovery(e.Blame, pt.Res.RecoverySeconds)
+			e.Metrics["failovers"] = float64(pt.Res.Failovers)
+			e.Metrics["stalls"] = float64(pt.Res.Stalls)
+			e.Metrics["replayed_rounds"] = float64(pt.Res.ReplayedRounds)
+			e.Metrics["recovery_seconds"] = pt.Res.RecoverySeconds
+			rec.Entries = append(rec.Entries, e)
+		}
+	default:
+		return nil, fmt.Errorf("bench: Ledger knows %s; not %q", strings.Join(LedgerExperiments, ", "), name)
+	}
+	return rec, nil
+}
+
+// sweepEntry converts one figure sweep point into a ledger entry.
+func sweepEntry(p Point, overlap bool) obs.RunEntry {
+	e := costEntry(fmt.Sprintf("%s/%s/mem=%d", p.Strategy, p.Op, p.MemMB), p.Result, overlap)
+	e.Metrics["paged_aggregators"] = float64(p.Result.PagedAggregators)
+	e.Metrics["domains"] = float64(p.Result.Domains)
+	return e
+}
+
+// costEntry builds the common ledger entry for one priced run: headline
+// numbers plus the per-phase critical-path blame from the round trace.
+func costEntry(name string, res *collio.CostResult, overlap bool) obs.RunEntry {
+	e := obs.RunEntry{
+		Name:          name,
+		BandwidthMBps: res.Bandwidth / 1e6,
+		WallSeconds:   res.Seconds,
+		Rounds:        res.Totals.Rounds,
+		Metrics:       map[string]float64{},
+	}
+	if len(res.Trace) > 0 {
+		b := analyze.BlameFromTrace(res.Trace, overlap)
+		// Whatever wall time the rounds do not cover (e.g. flat recovery
+		// latency) lands in "other" so the blame sums to WallSeconds.
+		if rest := res.Seconds - b.Total(); rest > 1e-12 {
+			b[analyze.PhaseOther] += rest
+		}
+		e.Blame = map[string]float64(b)
+	}
+	return e
+}
+
+// topUpRecovery moves stall time the round trace cannot attribute from
+// "other" into "recovery": recoverySeconds is the run's authoritative
+// recovery total. Only time already parked in "other" moves, so the
+// blame total is preserved.
+func topUpRecovery(blame map[string]float64, recoverySeconds float64) {
+	if blame == nil {
+		return
+	}
+	extra := recoverySeconds - blame[analyze.PhaseRecovery]
+	if extra <= 0 {
+		return
+	}
+	if other := blame[analyze.PhaseOther]; extra > other {
+		extra = other
+	}
+	blame[analyze.PhaseRecovery] += extra
+	blame[analyze.PhaseOther] -= extra
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"mcio/internal/obs"
+	"mcio/internal/obs/analyze"
+)
+
+func TestLedgerFig7(t *testing.T) {
+	rec, err := Ledger("fig7", testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "fig7" || rec.Params["seed"] != "1" {
+		t.Fatalf("ledger header wrong: %+v", rec)
+	}
+	// 2 strategies x 2 ops x 7 memory points.
+	if len(rec.Entries) != 28 {
+		t.Fatalf("got %d entries, want 28", len(rec.Entries))
+	}
+	for _, e := range rec.Entries {
+		if e.BandwidthMBps <= 0 || e.WallSeconds <= 0 || e.Rounds <= 0 {
+			t.Fatalf("entry %s has empty headline numbers: %+v", e.Name, e)
+		}
+		if len(e.Blame) == 0 {
+			t.Fatalf("entry %s has no blame", e.Name)
+		}
+		var total float64
+		for _, v := range e.Blame {
+			total += v
+		}
+		if math.Abs(total-e.WallSeconds) > 1e-9*e.WallSeconds {
+			t.Errorf("entry %s: blame total %v != wall %v", e.Name, total, e.WallSeconds)
+		}
+	}
+}
+
+func TestLedgerTrajectoryAndFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trajectory+faults ledger is slow")
+	}
+	rec, err := Ledger("trajectory", testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Entries) != 10 { // 5 design points x 2 strategies
+		t.Fatalf("trajectory: got %d entries, want 10", len(rec.Entries))
+	}
+	// Seed 5 keeps a live relocation host at every fault rate (seed 1
+	// wipes out every candidate at rate 4, a legitimate planner error).
+	frec, err := Ledger("faults", testScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frec.Entries) != 10 { // 5 rates x 2 strategies
+		t.Fatalf("faults: got %d entries, want 10", len(frec.Entries))
+	}
+	var sawRecovery bool
+	for _, e := range frec.Entries {
+		var total float64
+		for _, v := range e.Blame {
+			total += v
+		}
+		if math.Abs(total-e.WallSeconds) > 1e-9*e.WallSeconds {
+			t.Errorf("faults entry %s: blame total %v != wall %v", e.Name, total, e.WallSeconds)
+		}
+		if e.Blame[analyze.PhaseRecovery] > 0 {
+			sawRecovery = true
+		}
+	}
+	if !sawRecovery {
+		t.Error("no faulted entry attributed recovery time")
+	}
+}
+
+func TestLedgerUnknownExperiment(t *testing.T) {
+	if _, err := Ledger("fig99", testScale, 1); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestLedgerDeterministicAndDiffClean(t *testing.T) {
+	a, err := Ledger("fig7", testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ledger("fig7", testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := obs.DiffRunRecords(a, b, obs.DiffOptions{})
+	if n := len(res.Regressions()); n != 0 {
+		t.Fatalf("identical runs diff dirty: %d regressions\n%s", n, res.Render())
+	}
+}
+
+func TestTrajectoryBlameTable(t *testing.T) {
+	tb, err := TrajectoryBlame(testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(tb.Rows))
+	}
+	if len(tb.Header) != 3+len(analyze.Phases()) {
+		t.Fatalf("header %v missing phase columns", tb.Header)
+	}
+}

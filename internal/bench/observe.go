@@ -8,6 +8,7 @@ import (
 	"mcio/internal/collio"
 	"mcio/internal/core"
 	"mcio/internal/obs"
+	"mcio/internal/obs/analyze"
 	"mcio/internal/sim"
 	"mcio/internal/stats"
 	"mcio/internal/twophase"
@@ -98,8 +99,27 @@ func Observe(figure string, scale int64, seed uint64, memMB int, op collio.Op) (
 		for _, line := range bindingTally(res.Trace) {
 			fmt.Fprintf(&b, "  %s\n", line)
 		}
+		fmt.Fprintf(&b, "  %s\n", blameLine(res.Trace, res.Seconds, opt.Overlap))
 	}
 	return &ObserveResult{Obs: ctx.Obs, Summary: b.String()}, nil
+}
+
+// blameLine renders a one-line critical-path breakdown of a traced run:
+// each phase's share of the simulated wall time, largest first.
+func blameLine(tr []sim.TraceEntry, wall float64, overlap bool) string {
+	b := analyze.BlameFromTrace(tr, overlap)
+	if rest := wall - b.Total(); rest > 1e-12 {
+		b[analyze.PhaseOther] += rest
+	}
+	var parts []string
+	for _, phase := range analyze.Phases() {
+		v := b[phase]
+		if v <= 0 || wall <= 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", phase, v/wall*100))
+	}
+	return "critical path: " + strings.Join(parts, ", ")
 }
 
 // bindingTally counts which resource bound each traced round, rendered as

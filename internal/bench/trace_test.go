@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -44,4 +45,43 @@ func TestRoundTraceRendersBinding(t *testing.T) {
 	if !strings.Contains(out, "more rounds") && strings.Count(out, "round ") > 12 {
 		t.Fatalf("long trace not elided:\n%s", out)
 	}
+}
+
+// TestRoundTraceElisionCountsConsistent checks the rendered marker: for
+// each strategy section, shown rounds plus the "... N more rounds ..."
+// count must equal the section's declared round total — elision hides
+// lines, never rounds.
+func TestRoundTraceElisionCountsConsistent(t *testing.T) {
+	out, err := RoundTrace(testScale, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var declared, shown, elided int
+	checkSection := func() {
+		if declared == 0 {
+			return
+		}
+		if shown+elided != declared {
+			t.Errorf("section declares %d rounds but renders %d shown + %d elided:\n%s",
+				declared, shown, elided, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.Contains(trimmed, " rounds, ") && strings.Contains(trimmed, "s total"):
+			checkSection() // close the previous strategy's section
+			shown, elided = 0, 0
+			if _, err := fmt.Sscanf(trimmed[strings.Index(trimmed, ": ")+2:], "%d rounds", &declared); err != nil {
+				t.Fatalf("cannot parse round total from %q: %v", trimmed, err)
+			}
+		case strings.HasPrefix(trimmed, "round "):
+			shown++
+		case strings.HasPrefix(trimmed, "... "):
+			if _, err := fmt.Sscanf(trimmed, "... %d more rounds ...", &elided); err != nil {
+				t.Fatalf("cannot parse elision marker %q: %v", trimmed, err)
+			}
+		}
+	}
+	checkSection()
 }

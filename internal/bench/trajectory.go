@@ -7,6 +7,7 @@ import (
 	"mcio/internal/core"
 	"mcio/internal/machine"
 	"mcio/internal/mpi"
+	"mcio/internal/obs/analyze"
 	"mcio/internal/pfs"
 	"mcio/internal/sim"
 	"mcio/internal/stats"
@@ -14,30 +15,34 @@ import (
 	"mcio/internal/workload"
 )
 
-// Trajectory prices both strategies on machine design points interpolated
-// along the paper's Table 1 trajectory from the 2010 petascale machine
-// (t=0) to the projected 2018 exascale machine (t=1). The workload and
-// node count are held fixed; only the per-node resource ratios change —
-// memory per core shrinking ~120x along the way — so the sweep shows
-// where on the road to exascale memory-conscious placement starts to
-// matter.
-func Trajectory(scale int64, seed uint64) (*Table, error) {
+// TrajectoryPoint is one design point of the Table 1 trajectory: both
+// strategies priced on the interpolated machine at parameter t.
+type TrajectoryPoint struct {
+	T          float64
+	MemPerCore int64
+	Results    map[string]*collio.CostResult // strategy name -> priced run
+	Overlap    bool
+}
+
+// trajectoryRun prices both strategies on machine design points
+// interpolated along the paper's Table 1 trajectory from the 2010
+// petascale machine (t=0) to the projected 2018 exascale machine (t=1).
+// The workload and node count are held fixed; only the per-node
+// resource ratios change — memory per core shrinking ~120x along the
+// way — so the sweep shows where on the road to exascale
+// memory-conscious placement starts to matter.
+func trajectoryRun(scale int64, seed uint64) ([]TrajectoryPoint, error) {
 	const (
 		nodes        = 16
 		ranksPerNode = 12
 		ranks        = nodes * ranksPerNode
 	)
-	t := &Table{
-		Name: "table-1 trajectory: petascale (t=0) to exascale (t=1), IOR write MB/s",
-		Header: []string{
-			"t", "mem/core", "2ph write", "mc write", "improvement", "2ph paged",
-		},
-	}
 	r := stats.NewRNG(seed)
 	zs := make([]float64, nodes)
 	for i := range zs {
 		zs[i] = r.Normal(0, 1)
 	}
+	var points []TrajectoryPoint
 	for _, tt := range []float64{0, 0.25, 0.5, 0.75, 1} {
 		mc := machine.Interpolate(tt).Scaled(nodes)
 		mc.NetLatency /= float64(scale)
@@ -79,9 +84,9 @@ func Trajectory(scale int64, seed uint64) (*Table, error) {
 			return nil, err
 		}
 		opt := sim.DefaultOptions()
-		row := []string{fmt.Sprintf("%.2f", tt), fmtBytes(mc.MemPerCore())}
-		var base, mcio float64
-		var basePaged int
+		opt.Trace = true
+		pt := TrajectoryPoint{T: tt, MemPerCore: mc.MemPerCore(),
+			Results: map[string]*collio.CostResult{}, Overlap: opt.Overlap}
 		for _, s := range []collio.Strategy{twophase.New(), core.New()} {
 			plan, err := s.Plan(ctx, reqs)
 			if err != nil {
@@ -94,20 +99,75 @@ func Trajectory(scale int64, seed uint64) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if s.Name() == "two-phase" {
-				base = res.Bandwidth
-				basePaged = res.PagedAggregators
-			} else {
-				mcio = res.Bandwidth
-			}
+			pt.Results[s.Name()] = res
 		}
-		row = append(row,
-			fmt.Sprintf("%.1f", base/1e6),
-			fmt.Sprintf("%.1f", mcio/1e6),
-			fmt.Sprintf("%+.1f%%", (mcio/base-1)*100),
-			fmt.Sprintf("%d", basePaged),
-		)
-		t.Rows = append(t.Rows, row)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// Trajectory renders the trajectory sweep as the paper-style table:
+// bandwidth and paging per design point.
+func Trajectory(scale int64, seed uint64) (*Table, error) {
+	points, err := trajectoryRun(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name: "table-1 trajectory: petascale (t=0) to exascale (t=1), IOR write MB/s",
+		Header: []string{
+			"t", "mem/core", "2ph write", "mc write", "improvement", "2ph paged",
+		},
+	}
+	for _, pt := range points {
+		base, mcio := pt.Results["two-phase"], pt.Results["memory-conscious"]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", pt.T),
+			fmtBytes(pt.MemPerCore),
+			fmt.Sprintf("%.1f", base.Bandwidth/1e6),
+			fmt.Sprintf("%.1f", mcio.Bandwidth/1e6),
+			fmt.Sprintf("%+.1f%%", (mcio.Bandwidth/base.Bandwidth-1)*100),
+			fmt.Sprintf("%d", base.PagedAggregators),
+		})
+	}
+	return t, nil
+}
+
+// TrajectoryBlame renders the same sweep through the critical-path
+// analyzer: for each design point and strategy, the share of the run's
+// simulated wall time attributed to each phase. Reading down a column
+// shows the bottleneck migrating as memory per core shrinks — shuffle-
+// dominated at t=0, paging-dominated for the baseline near t=1.
+func TrajectoryBlame(scale int64, seed uint64) (*Table, error) {
+	points, err := trajectoryRun(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:   "trajectory critical-path blame: share of simulated wall time per phase",
+		Header: []string{"t", "strategy", "wall s"},
+	}
+	for _, phase := range analyze.Phases() {
+		t.Header = append(t.Header, phase)
+	}
+	for _, pt := range points {
+		for _, strategy := range []string{"two-phase", "memory-conscious"} {
+			res := pt.Results[strategy]
+			b := analyze.BlameFromTrace(res.Trace, pt.Overlap)
+			row := []string{
+				fmt.Sprintf("%.2f", pt.T),
+				strategy,
+				fmt.Sprintf("%.4f", res.Seconds),
+			}
+			for _, phase := range analyze.Phases() {
+				share := 0.0
+				if res.Seconds > 0 {
+					share = b[phase] / res.Seconds * 100
+				}
+				row = append(row, fmt.Sprintf("%.1f%%", share))
+			}
+			t.Rows = append(t.Rows, row)
+		}
 	}
 	return t, nil
 }

@@ -278,7 +278,7 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 	for _, d := range plan.Domains {
 		aggsByGroup[d.Group] = append(aggsByGroup[d.Group], d.Aggregator)
 	}
-	var meta sim.Round
+	meta := sim.Round{Kind: sim.RoundMetadata}
 	for g, ranks := range plan.GroupRanks {
 		aggs := dedupInts(aggsByGroup[g])
 		for _, r := range ranks {

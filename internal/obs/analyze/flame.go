@@ -1,0 +1,92 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteFlame writes the analysis in collapsed-stack format — one
+// "frame;frame;frame value" line per distinct stack, the input of
+// flamegraph.pl, inferno, speedscope and friends. Values are integer
+// microseconds of simulated critical-path time, so the flamegraph's x
+// axis is the run's wall clock and each process's per-phase totals sum
+// (within one microsecond per line of rounding) to its simulated wall
+// time.
+//
+// Stacks have three frames: process (strategy run), round kind, phase —
+//
+//	two-phase;data;shuffle 184223
+//	two-phase;data;paging 97110
+//	two-phase;metadata;metadata 312
+//	memory-conscious;recovery;recovery 1044
+//
+// Lines are emitted in deterministic order (process registration order,
+// then kind, then phase) and zero-valued stacks are omitted.
+func WriteFlame(w io.Writer, a *Analysis) error {
+	for _, p := range a.Processes {
+		// Aggregate per (kind, phase) over rounds; out-of-round time
+		// (stalls, flat latency) is rolled up under its own kind frames.
+		agg := map[string]Blame{}
+		inRounds := Blame{}
+		for _, rb := range p.Rounds {
+			kind := rb.Kind
+			if kind == "" {
+				kind = "data"
+			}
+			b := agg[kind]
+			if b == nil {
+				b = Blame{}
+				agg[kind] = b
+			}
+			b.merge(rb.Blame)
+			inRounds.merge(rb.Blame)
+		}
+		// Process-level blame not covered by any round: recovery stalls
+		// and unattributed latency analyzed at the process level.
+		for _, phase := range Phases() {
+			if rest := p.Blame[phase] - inRounds[phase]; rest > 1e-12 {
+				kind := "stall"
+				if phase == PhaseOther {
+					kind = "other"
+				}
+				b := agg[kind]
+				if b == nil {
+					b = Blame{}
+					agg[kind] = b
+				}
+				b.add(phase, rest)
+			}
+		}
+		kinds := make([]string, 0, len(agg))
+		for k := range agg {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		name := flameFrame(p.Name)
+		if name == "" {
+			name = fmt.Sprintf("pid %d", p.PID)
+		}
+		for _, kind := range kinds {
+			for _, phase := range Phases() {
+				us := int64(math.Round(agg[kind][phase] * 1e6))
+				if us <= 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s;%s;%s %d\n", name, flameFrame(kind), phase, us); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// flameFrame sanitizes a frame name: semicolons separate frames and
+// spaces separate the stack from its value in the collapsed format.
+func flameFrame(s string) string {
+	s = strings.ReplaceAll(s, ";", ",")
+	return strings.ReplaceAll(s, " ", "_")
+}

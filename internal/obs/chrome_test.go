@@ -138,7 +138,7 @@ func TestMetricsExports(t *testing.T) {
 	if len(lines) != 4 { // header + 3 points
 		t.Fatalf("got %d CSV lines, want 4:\n%s", len(lines), cs.Bytes())
 	}
-	if want := "name,labels,type,value,count,sum,min,max"; string(lines[0]) != want {
+	if want := "name,labels,type,value,count,sum,min,max,p50,p99"; string(lines[0]) != want {
 		t.Fatalf("CSV header = %q, want %q", lines[0], want)
 	}
 }

@@ -69,7 +69,7 @@ func formatMicros(seconds float64) string {
 	// Trim trailing zeros but keep integers bare for compactness.
 	s = strings.TrimRight(s, "0")
 	s = strings.TrimSuffix(s, ".")
-	if s == "" || s == "-" {
+	if s == "" || s == "-" || s == "-0" {
 		return "0"
 	}
 	return s
@@ -109,10 +109,10 @@ func WriteMetricsJSON(w io.Writer, r *Registry) error {
 }
 
 // WriteMetricsCSV serializes the registry snapshot as CSV with the
-// columns name,labels,type,value,count,sum,min,max.
+// columns name,labels,type,value,count,sum,min,max,p50,p99.
 func WriteMetricsCSV(w io.Writer, r *Registry) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"name", "labels", "type", "value", "count", "sum", "min", "max"}); err != nil {
+	if err := cw.Write([]string{"name", "labels", "type", "value", "count", "sum", "min", "max", "p50", "p99"}); err != nil {
 		return err
 	}
 	for _, p := range r.Snapshot() {
@@ -129,6 +129,8 @@ func WriteMetricsCSV(w io.Writer, r *Registry) error {
 			strconv.FormatFloat(p.Sum, 'g', -1, 64),
 			strconv.FormatFloat(p.Min, 'g', -1, 64),
 			strconv.FormatFloat(p.Max, 'g', -1, 64),
+			strconv.FormatFloat(p.P50, 'g', -1, 64),
+			strconv.FormatFloat(p.P99, 'g', -1, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

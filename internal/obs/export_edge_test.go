@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestFormatMicrosEdges(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",     // zero-length span
+		1e-10:    "0",     // 0.1 ns rounds below the 3-digit resolution
+		5e-10:    "0.001", // 0.5 ns: FormatFloat rounds half away from zero
+		1e-9:     "0.001", // exactly one nanosecond
+		2.5e-7:   "0.25",  // sub-microsecond duration
+		-5e-7:    "-0.5",  // negative timestamp (clock offsets)
+		-1e-12:   "0",     // negative underflow must not render "-"
+		0.000001: "1",     // exactly one microsecond
+		3600:     "3600000000",
+	}
+	for in, want := range cases {
+		if got := formatMicros(in); got != want {
+			t.Errorf("formatMicros(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// chromeEvent mirrors the exported event fields for round-trip checks.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// TestChromeExportRoundTrip verifies that zero-length spans, sub-µs
+// durations, and attributes (such as an elided-round count) survive the
+// Chrome export: the JSON parses back to the same values.
+func TestChromeExportRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.PID("p")
+	tr.Emit(Span{PID: pid, TID: 1, Name: "zero", Start: 0.001})              // zero-length
+	tr.Emit(Span{PID: pid, TID: 1, Name: "tiny", Start: 0.002, Dur: 2.5e-7}) // sub-µs
+	tr.Emit(Span{PID: pid, TID: 1, Name: "round 7", Start: 0.003, Dur: 0.01,
+		Attrs: []Attr{A("elided_rounds", "95"), A("kind", "data")}})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	byName := map[string]chromeEvent{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			byName[e.Name] = e
+		}
+	}
+	if len(byName) != 3 {
+		t.Fatalf("got %d complete events, want 3", len(byName))
+	}
+	if z := byName["zero"]; z.Dur != 0 || z.Ts != 1000 {
+		t.Errorf("zero-length span round-trip: ts=%v dur=%v, want 1000, 0", z.Ts, z.Dur)
+	}
+	if ti := byName["tiny"]; math.Abs(ti.Dur-0.25) > 1e-9 {
+		t.Errorf("sub-µs duration round-trip: dur=%v µs, want 0.25", ti.Dur)
+	}
+	r := byName["round 7"]
+	if r.Args["elided_rounds"] != "95" || r.Args["kind"] != "data" {
+		t.Errorf("attrs lost in round trip: %v", r.Args)
+	}
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// RunRecordVersion is the schema version stamped into every ledger
+// file. Bump it only for incompatible changes; readers reject files
+// with a newer major version than they understand.
+const RunRecordVersion = 1
+
+// RunRecord is the stable on-disk record of one benchmark run — the
+// "run ledger". It is what `mcio bench -out` writes and `mcio diff`
+// compares, so its JSON shape is a compatibility surface: fields may be
+// added, but existing names and meanings must not change.
+type RunRecord struct {
+	Version int               `json:"version"`
+	Name    string            `json:"name"`             // experiment name (fig6, trajectory, ...)
+	Params  map[string]string `json:"params,omitempty"` // scale, seed, op, ... as strings
+	Entries []RunEntry        `json:"entries"`
+}
+
+// RunEntry is one measured configuration within a run (one sweep point:
+// a strategy at a memory fraction, a trajectory step, a fault case).
+type RunEntry struct {
+	Name          string             `json:"name"`
+	BandwidthMBps float64            `json:"bandwidth_mbps,omitempty"`
+	WallSeconds   float64            `json:"wall_seconds,omitempty"`
+	Rounds        int                `json:"rounds,omitempty"`
+	Blame         map[string]float64 `json:"blame,omitempty"`   // phase -> critical-path seconds
+	Metrics       map[string]float64 `json:"metrics,omitempty"` // free-form extras (peak_buffer_mb, ...)
+}
+
+// WriteRunRecord writes the record as indented JSON with entries in
+// their given order and a trailing newline.
+func WriteRunRecord(w io.Writer, r *RunRecord) error {
+	r.Version = RunRecordVersion
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// SaveRunRecord writes the record to a file.
+func SaveRunRecord(path string, r *RunRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteRunRecord(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRunRecord reads a ledger file, rejecting unknown versions.
+func LoadRunRecord(path string) (*RunRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r RunRecord
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Version > RunRecordVersion {
+		return nil, fmt.Errorf("%s: run record version %d is newer than supported %d", path, r.Version, RunRecordVersion)
+	}
+	return &r, nil
+}
+
+// DiffOptions sets the relative thresholds above which a change counts
+// as a regression. Zero values mean "use the default" (5%).
+type DiffOptions struct {
+	BandwidthTol float64 // relative bandwidth drop tolerated, e.g. 0.05
+	WallTol      float64 // relative wall-time rise tolerated
+}
+
+// DefaultDiffTol is the relative change tolerated before a metric
+// movement counts as a regression.
+const DefaultDiffTol = 0.05
+
+func (o DiffOptions) bandwidthTol() float64 {
+	if o.BandwidthTol > 0 {
+		return o.BandwidthTol
+	}
+	return DefaultDiffTol
+}
+
+func (o DiffOptions) wallTol() float64 {
+	if o.WallTol > 0 {
+		return o.WallTol
+	}
+	return DefaultDiffTol
+}
+
+// EntryDelta is the comparison of one entry across two ledgers.
+type EntryDelta struct {
+	Name          string
+	OldBandwidth  float64
+	NewBandwidth  float64
+	BandwidthRel  float64 // (new-old)/old, 0 if old == 0
+	OldWall       float64
+	NewWall       float64
+	WallRel       float64
+	Missing       bool // present in old, absent in new
+	Added         bool // absent in old, present in new
+	Regression    bool
+	RegressionWhy string
+}
+
+// DiffResult is the outcome of comparing two run ledgers.
+type DiffResult struct {
+	OldName string
+	NewName string
+	Deltas  []EntryDelta
+}
+
+// Regressions returns the deltas flagged as regressions.
+func (d *DiffResult) Regressions() []EntryDelta {
+	var out []EntryDelta
+	for _, e := range d.Deltas {
+		if e.Regression {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DiffRunRecords compares two ledgers entry-by-entry (matched by entry
+// name). A regression is a bandwidth drop beyond tolerance, a wall-time
+// rise beyond tolerance, or an entry that disappeared. New entries are
+// reported but are not regressions.
+func DiffRunRecords(old, new *RunRecord, opt DiffOptions) *DiffResult {
+	res := &DiffResult{OldName: old.Name, NewName: new.Name}
+	newByName := make(map[string]RunEntry, len(new.Entries))
+	seen := make(map[string]bool, len(new.Entries))
+	for _, e := range new.Entries {
+		newByName[e.Name] = e
+	}
+	for _, oe := range old.Entries {
+		ne, ok := newByName[oe.Name]
+		if !ok {
+			res.Deltas = append(res.Deltas, EntryDelta{
+				Name: oe.Name, OldBandwidth: oe.BandwidthMBps, OldWall: oe.WallSeconds,
+				Missing: true, Regression: true, RegressionWhy: "entry missing from new ledger",
+			})
+			continue
+		}
+		seen[oe.Name] = true
+		d := EntryDelta{
+			Name:         oe.Name,
+			OldBandwidth: oe.BandwidthMBps, NewBandwidth: ne.BandwidthMBps,
+			OldWall: oe.WallSeconds, NewWall: ne.WallSeconds,
+		}
+		if oe.BandwidthMBps > 0 {
+			d.BandwidthRel = (ne.BandwidthMBps - oe.BandwidthMBps) / oe.BandwidthMBps
+		}
+		if oe.WallSeconds > 0 {
+			d.WallRel = (ne.WallSeconds - oe.WallSeconds) / oe.WallSeconds
+		}
+		var why []string
+		if d.BandwidthRel < -opt.bandwidthTol() {
+			why = append(why, fmt.Sprintf("bandwidth %.1f%% below baseline (tol %.1f%%)",
+				-d.BandwidthRel*100, opt.bandwidthTol()*100))
+		}
+		if d.WallRel > opt.wallTol() {
+			why = append(why, fmt.Sprintf("wall time %.1f%% above baseline (tol %.1f%%)",
+				d.WallRel*100, opt.wallTol()*100))
+		}
+		if len(why) > 0 {
+			d.Regression = true
+			d.RegressionWhy = strings.Join(why, "; ")
+		}
+		res.Deltas = append(res.Deltas, d)
+	}
+	var added []string
+	for name := range newByName {
+		if !seen[name] {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		ne := newByName[name]
+		res.Deltas = append(res.Deltas, EntryDelta{
+			Name: name, NewBandwidth: ne.BandwidthMBps, NewWall: ne.WallSeconds, Added: true,
+		})
+	}
+	return res
+}
+
+// Render formats the diff as an aligned text table, one row per entry,
+// flagged rows marked REGRESSION.
+func (d *DiffResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ledger diff: %s -> %s\n", d.OldName, d.NewName)
+	fmt.Fprintf(&b, "%-28s %12s %12s %8s %10s %10s %8s  %s\n",
+		"entry", "old MB/s", "new MB/s", "Δbw", "old wall", "new wall", "Δwall", "status")
+	for _, e := range d.Deltas {
+		status := "ok"
+		switch {
+		case e.Missing:
+			status = "REGRESSION: " + e.RegressionWhy
+		case e.Added:
+			status = "new entry"
+		case e.Regression:
+			status = "REGRESSION: " + e.RegressionWhy
+		}
+		fmt.Fprintf(&b, "%-28s %12s %12s %8s %10s %10s %8s  %s\n",
+			e.Name,
+			fmtLedgerVal(e.OldBandwidth), fmtLedgerVal(e.NewBandwidth), fmtLedgerRel(e.BandwidthRel, e.Missing || e.Added),
+			fmtLedgerSec(e.OldWall), fmtLedgerSec(e.NewWall), fmtLedgerRel(e.WallRel, e.Missing || e.Added),
+			status)
+	}
+	n := len(d.Regressions())
+	if n == 0 {
+		fmt.Fprintf(&b, "no regressions (%d entries compared)\n", len(d.Deltas))
+	} else {
+		fmt.Fprintf(&b, "%d regression(s)\n", n)
+	}
+	return b.String()
+}
+
+func fmtLedgerVal(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func fmtLedgerSec(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.4fs", v)
+}
+
+func fmtLedgerRel(rel float64, na bool) string {
+	if na {
+		return "-"
+	}
+	if math.Abs(rel) < 5e-5 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%+.1f%%", rel*100)
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func ledgerFixture() *RunRecord {
+	return &RunRecord{
+		Name:   "fig6",
+		Params: map[string]string{"scale": "65536", "seed": "1"},
+		Entries: []RunEntry{
+			{Name: "two-phase/mem=1.0", BandwidthMBps: 1000, WallSeconds: 2.0, Rounds: 16,
+				Blame: map[string]float64{"shuffle": 1.2, "write": 0.8}},
+			{Name: "memory-conscious/mem=1.0", BandwidthMBps: 1200, WallSeconds: 1.7, Rounds: 16},
+		},
+	}
+}
+
+func TestRunRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fig6.json")
+	rec := ledgerFixture()
+	if err := SaveRunRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRunRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != RunRecordVersion {
+		t.Errorf("version = %d, want %d", got.Version, RunRecordVersion)
+	}
+	if got.Name != rec.Name || len(got.Entries) != len(rec.Entries) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Entries[0].Blame["shuffle"] != 1.2 {
+		t.Errorf("blame lost in round trip: %+v", got.Entries[0])
+	}
+}
+
+func TestLoadRunRecordRejectsNewerVersion(t *testing.T) {
+	// Bypass Save (which restamps the version) by writing by hand.
+	path := filepath.Join(t.TempDir(), "v999.json")
+	if err := os.WriteFile(path, []byte(`{"version": 999, "name": "x", "entries": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRunRecord(path); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestDiffIdenticalLedgersClean(t *testing.T) {
+	old, new := ledgerFixture(), ledgerFixture()
+	res := DiffRunRecords(old, new, DiffOptions{})
+	if n := len(res.Regressions()); n != 0 {
+		t.Fatalf("identical ledgers produced %d regressions: %s", n, res.Render())
+	}
+	if !strings.Contains(res.Render(), "no regressions") {
+		t.Errorf("render missing clean verdict:\n%s", res.Render())
+	}
+}
+
+func TestDiffFlagsBandwidthDrop(t *testing.T) {
+	old, new := ledgerFixture(), ledgerFixture()
+	new.Entries[0].BandwidthMBps = 900 // -10%, beyond the 5% default
+	res := DiffRunRecords(old, new, DiffOptions{})
+	regs := res.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %s", len(regs), res.Render())
+	}
+	if regs[0].Name != "two-phase/mem=1.0" || !strings.Contains(regs[0].RegressionWhy, "bandwidth") {
+		t.Errorf("wrong regression: %+v", regs[0])
+	}
+	// A 10% drop passes under a 15% tolerance.
+	res = DiffRunRecords(old, new, DiffOptions{BandwidthTol: 0.15})
+	if n := len(res.Regressions()); n != 0 {
+		t.Errorf("10%% drop flagged under 15%% tolerance: %d", n)
+	}
+}
+
+func TestDiffFlagsWallRiseAndMissing(t *testing.T) {
+	old, new := ledgerFixture(), ledgerFixture()
+	new.Entries[1].WallSeconds = 2.0 // +17.6%
+	new.Entries = new.Entries[1:]    // drop the two-phase entry entirely
+	res := DiffRunRecords(old, new, DiffOptions{})
+	regs := res.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %s", len(regs), res.Render())
+	}
+	var sawMissing, sawWall bool
+	for _, r := range regs {
+		if r.Missing {
+			sawMissing = true
+		}
+		if strings.Contains(r.RegressionWhy, "wall time") {
+			sawWall = true
+		}
+	}
+	if !sawMissing || !sawWall {
+		t.Errorf("missing=%v wall=%v, want both: %s", sawMissing, sawWall, res.Render())
+	}
+}
+
+func TestDiffReportsAddedEntries(t *testing.T) {
+	old, new := ledgerFixture(), ledgerFixture()
+	new.Entries = append(new.Entries, RunEntry{Name: "extra", BandwidthMBps: 1})
+	res := DiffRunRecords(old, new, DiffOptions{})
+	if n := len(res.Regressions()); n != 0 {
+		t.Fatalf("added entry counted as regression: %s", res.Render())
+	}
+	if !strings.Contains(res.Render(), "new entry") {
+		t.Errorf("render missing added entry:\n%s", res.Render())
+	}
+}

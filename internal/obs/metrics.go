@@ -269,6 +269,49 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the p-quantile of the observations by linear
+// interpolation within the power-of-two bucket containing the rank.
+// p <= 0 returns the exact minimum and p >= 1 the exact maximum; the
+// estimate is clamped to [Min, Max] so interpolation never invents a
+// value outside the observed range. Returns 0 with no observations or
+// on a nil histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	min := math.Float64frombits(h.minBits.Load())
+	max := math.Float64frombits(h.maxBits.Load())
+	if p <= 0 {
+		return min
+	}
+	if p >= 1 {
+		return max
+	}
+	rank := p * float64(count)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum)+float64(n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = math.Ldexp(1, i-1+histMinExp)
+			}
+			hi := math.Ldexp(1, i+histMinExp)
+			v := lo + (hi-lo)*(rank-float64(cum))/float64(n)
+			return math.Min(math.Max(v, min), max)
+		}
+		cum += n
+	}
+	return max
+}
+
 // Bucket is one non-empty histogram bucket in a snapshot.
 type Bucket struct {
 	UpperBound float64 `json:"le"` // observations are <= this bound
@@ -287,6 +330,8 @@ type MetricPoint struct {
 	Min    float64           `json:"min,omitempty"`
 	Max    float64           `json:"max,omitempty"`
 	Mean   float64           `json:"mean,omitempty"`
+	P50    float64           `json:"p50,omitempty"` // bucket-interpolated median
+	P99    float64           `json:"p99,omitempty"`
 	Bucket []Bucket          `json:"buckets,omitempty"`
 }
 
@@ -343,6 +388,8 @@ func (r *Registry) Snapshot() []MetricPoint {
 				p.Min = math.Float64frombits(h.minBits.Load())
 				p.Max = math.Float64frombits(h.maxBits.Load())
 				p.Mean = p.Sum / float64(p.Count)
+				p.P50 = h.Quantile(0.50)
+				p.P99 = h.Quantile(0.99)
 			}
 			for i := range h.buckets {
 				if n := h.buckets[i].Load(); n > 0 {

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteMetricsProm serializes the registry snapshot in the Prometheus
+// text exposition format (version 0.0.4), so snapshots can be scraped
+// or pushed into any Prometheus-compatible stack. Output is fully
+// deterministic: families in snapshot order (name, then label string),
+// one # TYPE line per family, histogram buckets cumulative with a
+// trailing +Inf, and _sum/_count series after the buckets.
+//
+// Metric names have dots replaced by underscores to satisfy the
+// Prometheus data model ("mpi.bytes_sent" becomes "mpi_bytes_sent");
+// label names get the same treatment. Label values are escaped per the
+// exposition format rules (backslash, double quote, newline).
+func WriteMetricsProm(w io.Writer, r *Registry) error {
+	ew := &errWriter{w: w}
+	typed := map[string]bool{} // family name -> # TYPE emitted
+	for _, p := range r.Snapshot() {
+		name := promName(p.Name)
+		if !typed[name] {
+			ew.writeString(fmt.Sprintf("# TYPE %s %s\n", name, p.Type))
+			typed[name] = true
+		}
+		labels := promLabels(p.Labels)
+		switch p.Type {
+		case "counter", "gauge":
+			ew.writeString(fmt.Sprintf("%s%s %s\n", name, labels, promFloat(p.Value)))
+		case "histogram":
+			var cum int64
+			for _, b := range p.Bucket {
+				cum += b.Count
+				ew.writeString(fmt.Sprintf("%s_bucket%s %d\n",
+					name, promLabels(p.Labels, Label{Key: "le", Value: promFloat(b.UpperBound)}), cum))
+			}
+			ew.writeString(fmt.Sprintf("%s_bucket%s %d\n",
+				name, promLabels(p.Labels, Label{Key: "le", Value: "+Inf"}), p.Count))
+			ew.writeString(fmt.Sprintf("%s_sum%s %s\n", name, labels, promFloat(p.Sum)))
+			ew.writeString(fmt.Sprintf("%s_count%s %d\n", name, labels, p.Count))
+		}
+	}
+	return ew.err
+}
+
+// promName maps an internal dotted metric name onto the Prometheus
+// name charset [a-zA-Z0-9_:].
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set (plus any extras) as {k="v",...} with
+// sorted keys, or "" when empty.
+func promLabels(m map[string]string, extra ...Label) string {
+	if len(m) == 0 && len(extra) == 0 {
+		return ""
+	}
+	ls := make([]Label, 0, len(m)+len(extra))
+	for k, v := range m {
+		ls = append(ls, Label{Key: k, Value: v})
+	}
+	ls = append(ls, extra...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// promFloat renders a float the way Prometheus expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

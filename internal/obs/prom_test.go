@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// promRegistry builds a fixed registry exercising every instrument kind,
+// dotted names, labels needing escaping, and multi-bucket histograms.
+func promRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("mpi.bytes_sent", L("rank", "0")).Add(4096)
+	r.Counter("mpi.bytes_sent", L("rank", "1")).Add(8192)
+	r.Gauge("plan.groups", L("strategy", "two-phase")).Set(4)
+	r.Gauge("mem.frac", L("note", `say "hi"`)).Set(0.25)
+	h := r.Histogram("sim.round_seconds", L("op", "write"))
+	for _, v := range []float64{0.125, 0.25, 0.25, 1.0} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWriteMetricsPromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetricsProm(&buf, promRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics_prom.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prom exposition drifted from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteMetricsPromDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteMetricsProm(&a, promRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsProm(&b, promRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical registries produced different prom output")
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"mpi.bytes_sent":  "mpi_bytes_sent",
+		"sim.round-time":  "sim_round_time",
+		"0weird":          "_0weird",
+		"already_fine:ok": "already_fine:ok",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+	if got := newHistogram().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	h := newHistogram()
+	for _, v := range []float64{0.1, 0.2, 0.4, 0.8} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0); got != 0.1 {
+		t.Errorf("p0 = %v, want exact min 0.1", got)
+	}
+	if got := h.Quantile(-3); got != 0.1 {
+		t.Errorf("p<0 = %v, want exact min 0.1", got)
+	}
+	if got := h.Quantile(1); got != 0.8 {
+		t.Errorf("p1 = %v, want exact max 0.8", got)
+	}
+	if got := h.Quantile(2); got != 0.8 {
+		t.Errorf("p>1 = %v, want exact max 0.8", got)
+	}
+}
+
+func TestQuantileSingleBucketInterpolates(t *testing.T) {
+	// 100 observations of 0.75 land in the (0.5, 1] bucket. The p50
+	// estimate interpolates halfway into the bucket: 0.5 + 0.5*0.5.
+	h := newHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(0.75)
+	}
+	if got, want := h.Quantile(0.5), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+	// p0.99 interpolates near the bucket top but clamps to the max.
+	if got := h.Quantile(0.99); got != 0.75 {
+		t.Errorf("p99 = %v, want clamp to max 0.75", got)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	// 50 observations in (0.25, 0.5], 50 in (0.5, 1]: p25 sits mid-way
+	// through the low bucket, p75 mid-way through the high one.
+	h := newHistogram()
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+		h.Observe(1.0)
+	}
+	// p25 interpolates to 0.375 inside the low bucket but clamps to the
+	// observed minimum 0.5.
+	if got, want := h.Quantile(0.25), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("p25 = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(0.75), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("p75 = %v, want %v", got, want)
+	}
+	// Monotone in p.
+	last := h.Quantile(0)
+	for p := 0.05; p <= 1.0; p += 0.05 {
+		q := h.Quantile(p)
+		if q < last-1e-12 {
+			t.Fatalf("quantile not monotone at p=%v: %v < %v", p, q, last)
+		}
+		last = q
+	}
+}
+
+func TestQuantileClampedToObservedRange(t *testing.T) {
+	// One observation at the bottom edge of a wide bucket: interpolation
+	// alone would report a value inside the bucket, clamping pins it.
+	h := newHistogram()
+	h.Observe(0.51)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if got := h.Quantile(p); got != 0.51 {
+			t.Errorf("p%v = %v, want 0.51 (clamped)", p, got)
+		}
+	}
+}
+
+func TestSnapshotCarriesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.latency")
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	h.Observe(10)
+	for _, p := range r.Snapshot() {
+		if p.Type != "histogram" {
+			continue
+		}
+		if p.P50 <= 0 || p.P99 <= 0 {
+			t.Fatalf("snapshot p50/p99 missing: %+v", p)
+		}
+		// p50 lands inside 0.001's power-of-two bucket (bound 2^-9), p99
+		// anywhere up to the 10-second outlier.
+		if p.P50 > 0.002 || p.P99 > 10 {
+			t.Fatalf("snapshot quantiles out of range: p50=%v p99=%v", p.P50, p.P99)
+		}
+	}
+}

@@ -134,10 +134,21 @@ type IOOp struct {
 	DelaySeconds float64
 }
 
+// Round kinds for blame attribution. A data round moves user bytes; a
+// metadata round carries the request-list exchange that precedes them.
+// Recovery traffic is marked by RunRecoveryRound, not by kind.
+const (
+	RoundData     = ""
+	RoundMetadata = "metadata"
+)
+
 // Round is one step of a collective operation.
 type Round struct {
 	Messages []Message
 	IOOps    []IOOp
+	// Kind tags the round for critical-path blame attribution; the zero
+	// value is a data round, RoundMetadata marks a request exchange.
+	Kind string
 }
 
 // AggregatorPlacement declares one aggregator for the duration of an
@@ -248,6 +259,22 @@ type TraceEntry struct {
 	// Recovery marks rounds priced via RunRecoveryRound (failure
 	// handling, not user data movement).
 	Recovery bool
+	// Kind is the round's Round.Kind (RoundData or RoundMetadata).
+	Kind string
+	// CommPagedFrac is the fraction of CommTime the bound node spent
+	// waiting on paging — the excess over the same traffic at full DRAM
+	// speed. Zero when the bound node's aggregation buffers fit.
+	CommPagedFrac float64
+	// IOPagedFrac is the paging share of IOTime on the bound target:
+	// accesses issued from paged nodes drain their buffers at degraded
+	// speed, and this is the excess fraction so charged.
+	IOPagedFrac float64
+	// IODelayFrac is the share of IOTime that was injected fault delay
+	// (retry backoff, degraded-target penalties) on the bound target.
+	IODelayFrac float64
+	// IODir is the round's storage direction: "write", "read", "mixed",
+	// or "" when the round issued no I/O.
+	IODir string
 }
 
 // Engine prices rounds against a machine design point and storage
@@ -471,6 +498,11 @@ type targetLoad struct {
 	bytes    int64
 	requests int
 	seek     int64 // bytes of noncontiguous accesses
+	// pagedExcess is service time beyond what the same accesses would
+	// cost with unpaged issuing nodes; delay is injected fault delay.
+	// Both are components of time, kept separate for blame attribution.
+	pagedExcess float64
+	delay       float64
 }
 
 // RunRound prices one round and accumulates it into the totals.
@@ -560,7 +592,10 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 		// A paged or straggling issuing node drains/fills its aggregation
 		// buffer at degraded speed, throttling the storage access it
 		// drives; injected retry/degradation delay is charged on top.
-		tl.time += (e.st.ReqOverhead*float64(op.Requests)+stream)*e.pagedSlowdown(op.Node)*e.nodeSlowdown(op.Node) + op.DelaySeconds
+		unpaged := (e.st.ReqOverhead*float64(op.Requests) + stream) * e.nodeSlowdown(op.Node)
+		tl.time += unpaged*e.pagedSlowdown(op.Node) + op.DelaySeconds
+		tl.pagedExcess += unpaged * (e.pagedSlowdown(op.Node) - 1)
+		tl.delay += op.DelaySeconds
 		tl.bytes += op.Bytes
 		tl.requests += op.Requests
 		if !op.Contiguous {
@@ -595,7 +630,7 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 	sort.Ints(targetIDs)
 
 	binding := Binding{CommNode: -1, IOTarget: -1}
-	var comm float64
+	var comm, commPagedFrac float64
 	nodeTime := make([]float64, len(nodeIDs))
 	for i, n := range nodeIDs {
 		l := loads[n]
@@ -620,16 +655,42 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 		if t > comm {
 			comm = t
 			binding.CommNode, binding.CommResource = n, res
+			// Every byte-stream term of t scales linearly in the node's
+			// paging slowdown; the latency term does not. The paging blame
+			// is the excess over the unpaged time of the same traffic.
+			commPagedFrac = 0
+			if pg := e.pagedSlowdown(n); pg > 1 && t > 0 {
+				commPagedFrac = (t - tlat) * (1 - 1/pg) / t
+			}
 		}
 	}
-	var io float64
+	var io, ioPagedFrac, ioDelayFrac float64
 	for _, t := range targetIDs {
 		if tt := targets[t].time; tt > io {
 			io = tt
 			binding.IOTarget = t
+			ioPagedFrac, ioDelayFrac = 0, 0
+			if tt > 0 {
+				ioPagedFrac = targets[t].pagedExcess / tt
+				ioDelayFrac = targets[t].delay / tt
+			}
 		}
 	}
 	binding.CommBound = comm >= io
+	ioDir := ""
+	for _, op := range r.IOOps {
+		d := "read"
+		if op.Write {
+			d = "write"
+		}
+		switch ioDir {
+		case "":
+			ioDir = d
+		case d:
+		default:
+			ioDir = "mixed"
+		}
+	}
 
 	rc := RoundCost{CommTime: comm, IOTime: io}
 	if e.opt.Overlap {
@@ -658,57 +719,100 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 	}
 	if e.opt.Trace {
 		e.trace = append(e.trace, TraceEntry{
-			Round:     round,
-			Cost:      rc,
-			Messages:  len(r.Messages),
-			IOOps:     len(r.IOOps),
-			CommBytes: commBytes,
-			IOBytes:   ioBytes,
-			Binding:   binding,
-			Recovery:  recovery,
+			Round:         round,
+			Cost:          rc,
+			Messages:      len(r.Messages),
+			IOOps:         len(r.IOOps),
+			CommBytes:     commBytes,
+			IOBytes:       ioBytes,
+			Binding:       binding,
+			Recovery:      recovery,
+			Kind:          r.Kind,
+			CommPagedFrac: commPagedFrac,
+			IOPagedFrac:   ioPagedFrac,
+			IODelayFrac:   ioDelayFrac,
+			IODir:         ioDir,
 		})
 	}
 	if eo := e.eo; eo != nil {
-		eo.emitRound(round, start, rc, e.opt.Overlap, binding, nodeIDs, nodeTime, loads, targetIDs, targets, commBytes, ioBytes, recovery)
+		eo.emitRound(roundEmit{
+			round:    round,
+			start:    start,
+			rc:       rc,
+			overlap:  e.opt.Overlap,
+			binding:  binding,
+			nodeIDs:  nodeIDs,
+			nodeTime: nodeTime,
+			loads:    loads,
+			targets:  targets, targetIDs: targetIDs,
+			commBytes: commBytes, ioBytes: ioBytes,
+			recovery:      recovery,
+			kind:          r.Kind,
+			commPagedFrac: commPagedFrac,
+			ioPagedFrac:   ioPagedFrac,
+			ioDelayFrac:   ioDelayFrac,
+			ioDir:         ioDir,
+		})
 	}
 	return rc
 }
 
+// roundEmit bundles everything emitRound publishes about one round.
+type roundEmit struct {
+	round     int
+	start     float64
+	rc        RoundCost
+	overlap   bool
+	binding   Binding
+	nodeIDs   []int
+	nodeTime  []float64
+	loads     map[int]*nodeLoad
+	targetIDs []int
+	targets   map[int]*targetLoad
+	commBytes int64
+	ioBytes   int64
+	recovery  bool
+	kind      string
+
+	commPagedFrac float64
+	ioPagedFrac   float64
+	ioDelayFrac   float64
+	ioDir         string
+}
+
+// formatFrac renders a blame fraction compactly, "" for zero (the
+// attribute is then omitted to keep traces small).
+func formatFrac(f float64) string {
+	if f <= 0 {
+		return ""
+	}
+	return strconv.FormatFloat(f, 'g', 6, 64)
+}
+
 // emitRound publishes one round's spans and counters: the round and its
 // comm/io phases on the timeline track, per-node shuffle spans, and
-// per-target storage spans, all at simulated time.
-func (eo *engineObs) emitRound(
-	round int,
-	start float64,
-	rc RoundCost,
-	overlap bool,
-	binding Binding,
-	nodeIDs []int,
-	nodeTime []float64,
-	loads map[int]*nodeLoad,
-	targetIDs []int,
-	targets map[int]*targetLoad,
-	commBytes, ioBytes int64,
-	recovery bool,
-) {
+// per-target storage spans, all at simulated time. Phase spans carry the
+// attributes the critical-path analyzer consumes: "phase" (shuffle,
+// metadata, read, write), "paged_frac" and "delay_frac".
+func (eo *engineObs) emitRound(r roundEmit) {
 	eo.counter("sim.rounds", "", 0).Inc()
-	eo.counter("sim.shuffle_bytes", "", 0).Add(commBytes)
-	eo.counter("sim.io_bytes", "", 0).Add(ioBytes)
-	eo.histogram("sim.round_seconds", "", 0).Observe(rc.Time)
-	if recovery {
+	eo.counter("sim.shuffle_bytes", "", 0).Add(r.commBytes)
+	eo.counter("sim.io_bytes", "", 0).Add(r.ioBytes)
+	eo.histogram("sim.round_seconds", "", 0).Observe(r.rc.Time)
+	if r.recovery {
 		eo.counter("sim.recovery_rounds", "", 0).Inc()
-		eo.histogram("sim.recovery_seconds", "", 0).Observe(rc.Time)
+		eo.histogram("sim.recovery_seconds", "", 0).Observe(r.rc.Time)
 	}
-	for i, n := range nodeIDs {
-		l := loads[n]
+	for i, n := range r.nodeIDs {
+		l := r.loads[n]
 		eo.counter("net.bytes_out", "node", n).Add(l.out)
 		eo.counter("net.bytes_in", "node", n).Add(l.in)
 		eo.counter("net.mem_bytes", "node", n).Add(l.mem)
 		eo.counter("net.msgs", "node", n).Add(int64(l.msgs))
-		eo.histogram("net.node_seconds", "node", n).Observe(nodeTime[i])
+		eo.histogram("net.node_seconds", "node", n).Observe(r.nodeTime[i])
 	}
-	for _, t := range targetIDs {
-		tl := targets[t]
+	for _, t := range r.targetIDs {
+		tl := r.targets[t]
 		eo.histogram("pfs.queue_depth", "ost", t).Observe(float64(tl.requests))
 		eo.histogram("pfs.target_seconds", "ost", t).Observe(tl.time)
 	}
@@ -717,44 +821,65 @@ func (eo *engineObs) emitRound(
 	if tr == nil {
 		return
 	}
-	name := fmt.Sprintf("round %d", round)
-	if recovery {
-		name = fmt.Sprintf("recovery round %d", round)
+	name := fmt.Sprintf("round %d", r.round)
+	kind := r.kind
+	if kind == RoundData {
+		kind = "data"
 	}
-	roundSpan := tr.Begin(eo.pid, TIDTimeline, name, start,
-		obs.A("binding", binding.String()),
-		obs.A("comm_bytes", strconv.FormatInt(commBytes, 10)),
-		obs.A("io_bytes", strconv.FormatInt(ioBytes, 10)))
-	roundSpan.End(start + rc.Time)
-	commStart, ioStart := start, start+rc.CommTime
-	if overlap {
-		ioStart = start
+	if r.recovery {
+		name = fmt.Sprintf("recovery round %d", r.round)
+		kind = "recovery"
 	}
-	if rc.CommTime > 0 {
+	roundSpan := tr.Begin(eo.pid, TIDTimeline, name, r.start,
+		obs.A("binding", r.binding.String()),
+		obs.A("kind", kind),
+		obs.A("comm_bytes", strconv.FormatInt(r.commBytes, 10)),
+		obs.A("io_bytes", strconv.FormatInt(r.ioBytes, 10)))
+	roundSpan.End(r.start + r.rc.Time)
+	commStart, ioStart := r.start, r.start+r.rc.CommTime
+	if r.overlap {
+		ioStart = r.start
+	}
+	if r.rc.CommTime > 0 {
+		commPhase := "shuffle"
+		if r.kind == RoundMetadata {
+			commPhase = "metadata"
+		}
 		span := tr.Begin(eo.pid, TIDTimeline, "comm", commStart,
-			obs.A("bound_by", fmt.Sprintf("node %d (%s)", binding.CommNode, binding.CommResource)))
-		span.End(commStart + rc.CommTime)
+			obs.A("phase", commPhase),
+			obs.A("bound_by", fmt.Sprintf("node %d (%s)", r.binding.CommNode, r.binding.CommResource)))
+		if f := formatFrac(r.commPagedFrac); f != "" {
+			span.Attr("paged_frac", f)
+		}
+		span.End(commStart + r.rc.CommTime)
 	}
-	if rc.IOTime > 0 {
+	if r.rc.IOTime > 0 {
 		span := tr.Begin(eo.pid, TIDTimeline, "io", ioStart,
-			obs.A("bound_by", fmt.Sprintf("ost %d", binding.IOTarget)))
-		span.End(ioStart + rc.IOTime)
+			obs.A("phase", r.ioDir),
+			obs.A("bound_by", fmt.Sprintf("ost %d", r.binding.IOTarget)))
+		if f := formatFrac(r.ioPagedFrac); f != "" {
+			span.Attr("paged_frac", f)
+		}
+		if f := formatFrac(r.ioDelayFrac); f != "" {
+			span.Attr("delay_frac", f)
+		}
+		span.End(ioStart + r.rc.IOTime)
 	}
-	for i, n := range nodeIDs {
-		if nodeTime[i] <= 0 {
+	for i, n := range r.nodeIDs {
+		if r.nodeTime[i] <= 0 {
 			continue
 		}
-		l := loads[n]
+		l := r.loads[n]
 		eo.nameTID(tidNodeBase+n, fmt.Sprintf("node %d shuffle", n))
 		span := tr.Begin(eo.pid, tidNodeBase+n, "shuffle", commStart,
 			obs.A("out_bytes", strconv.FormatInt(l.out, 10)),
 			obs.A("in_bytes", strconv.FormatInt(l.in, 10)),
 			obs.A("mem_bytes", strconv.FormatInt(l.mem, 10)),
 			obs.A("msgs", strconv.Itoa(l.msgs)))
-		span.End(commStart + nodeTime[i])
+		span.End(commStart + r.nodeTime[i])
 	}
-	for _, t := range targetIDs {
-		tl := targets[t]
+	for _, t := range r.targetIDs {
+		tl := r.targets[t]
 		if tl.time <= 0 {
 			continue
 		}
@@ -801,7 +926,8 @@ func (e *Engine) AddRecoveryLatency(seconds float64, kind string) {
 		eo.counter("sim.recovery_stalls", "", 0).Inc()
 		eo.histogram("sim.recovery_seconds", "", 0).Observe(seconds)
 		if tr := eo.o.Tracer(); tr != nil {
-			span := tr.Begin(eo.pid, TIDTimeline, "recovery: "+kind, start)
+			span := tr.Begin(eo.pid, TIDTimeline, "recovery: "+kind, start,
+				obs.A("phase", "recovery"))
 			span.End(start + seconds)
 		}
 	}
