@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"mcio/internal/bench"
@@ -67,6 +68,7 @@ func observe(args []string) error {
 	}
 	scale := fs.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
 	seed := fs.Uint64("seed", 42, "seed for the availability variance")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent runs; 1 = exact serial legacy path (results are scheduling-invariant either way)")
 	mem := fs.Int("mem", 16, "paper-scale mean memory per aggregator, MB")
 	opName := fs.String("op", "write", "collective direction: write or read")
 	faultRate := fs.Float64("faults", 0, "fault-rate multiplier; > 0 injects seeded faults (crashes, collapses, OST errors) into the run")
@@ -81,6 +83,7 @@ func observe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	bench.SetParallelism(*parallel)
 	var op collio.Op
 	switch *opName {
 	case "write":
@@ -153,6 +156,7 @@ func runBench(args []string, out io.Writer) error {
 	}
 	scale := fs.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
 	seed := fs.Uint64("seed", 42, "seed for the availability variance and fault schedules")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent sweep cells; 1 = exact serial legacy path (ledgers are scheduling-invariant either way)")
 	outPath := fs.String("out", "", "write the run ledger JSON here (default: stdout)")
 	name := "fig6"
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
@@ -162,6 +166,7 @@ func runBench(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	bench.SetParallelism(*parallel)
 	rec, err := bench.Ledger(name, *scale, *seed)
 	if err != nil {
 		return err
@@ -272,21 +277,26 @@ func main() {
 	exp := flag.String("exp", "all", expUsage())
 	scale := flag.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
 	seed := flag.Uint64("seed", 42, "seed for the availability variance")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent experiments and sweep cells; 1 = exact serial legacy path (results are scheduling-invariant either way)")
 	details := flag.Bool("details", false, "print per-point aggregator details for figures")
 	jsonPath := flag.String("json", "", "also save figure results as JSON to this path (fig6/fig7/fig8)")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
-	run := func(name string) error {
+	// Experiments render into a writer, not straight to stdout, so `-exp
+	// all` can fan whole experiments across the worker pool and still
+	// print them in the fixed order — byte-identical to the serial run.
+	run := func(name string, w io.Writer) error {
 		switch name {
 		case "table1":
-			fmt.Println("Table 1: potential exascale design vs 2010 HPC design")
-			fmt.Println(machine.RenderTable1())
+			fmt.Fprintln(w, "Table 1: potential exascale design vs 2010 HPC design")
+			fmt.Fprintln(w, machine.RenderTable1())
 		case "fig2":
-			return fig2()
+			return fig2(w)
 		case "fig4":
-			return fig4()
+			return fig4(w)
 		case "fig5":
-			return fig5()
+			return fig5(w)
 		case "fig6", "fig7", "fig8":
 			runner := map[string]func(int64, uint64) (*bench.Series, error){
 				"fig6": bench.Fig6, "fig7": bench.Fig7, "fig8": bench.Fig8,
@@ -295,62 +305,62 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(bench.Render(s))
+			fmt.Fprintln(w, bench.Render(s))
 			if *details {
-				fmt.Println(bench.RenderDetails(s))
+				fmt.Fprintln(w, bench.RenderDetails(s))
 			}
 			if *jsonPath != "" {
 				if err := s.SaveJSON(*jsonPath); err != nil {
 					return err
 				}
-				fmt.Printf("saved %s\n", *jsonPath)
+				fmt.Fprintf(w, "saved %s\n", *jsonPath)
 			}
 		case "random":
 			t, err := bench.RandomVsInterleaved(*scale, *seed, 16)
 			if err != nil {
 				return err
 			}
-			fmt.Println(t.Render())
+			fmt.Fprintln(w, t.Render())
 		case "plan":
-			return describePlans(*scale, *seed)
+			return describePlans(w, *scale, *seed)
 		case "trajectory":
 			t, err := bench.Trajectory(*scale, *seed)
 			if err != nil {
 				return err
 			}
-			fmt.Println(t.Render())
+			fmt.Fprintln(w, t.Render())
 		case "blame":
 			t, err := bench.TrajectoryBlame(*scale, *seed)
 			if err != nil {
 				return err
 			}
-			fmt.Println(t.Render())
+			fmt.Fprintln(w, t.Render())
 		case "trace":
 			out, err := bench.RoundTrace(*scale, *seed, 8)
 			if err != nil {
 				return err
 			}
-			fmt.Println(out)
+			fmt.Fprintln(w, out)
 		case "comparison":
 			t, err := bench.StrategyComparison(*scale, *seed)
 			if err != nil {
 				return err
 			}
-			fmt.Println(t.Render())
+			fmt.Fprintln(w, t.Render())
 		case "scaling":
 			t, err := bench.ScalingSweep(*scale, *seed, 16)
 			if err != nil {
 				return err
 			}
-			fmt.Println(t.Render())
+			fmt.Fprintln(w, t.Render())
 		case "tune":
-			return tune(*scale, *seed)
+			return tune(w, *scale, *seed)
 		case "motivation":
 			t, err := bench.Motivation(*scale, *seed)
 			if err != nil {
 				return err
 			}
-			fmt.Println(t.Render())
+			fmt.Fprintln(w, t.Render())
 		case "ablation":
 			for _, a := range []func(int64, uint64) (*bench.Table, error){
 				bench.AblationGrouping,
@@ -363,14 +373,14 @@ func main() {
 				if err != nil {
 					return err
 				}
-				fmt.Println(t.Render())
+				fmt.Fprintln(w, t.Render())
 			}
 		case "faults":
 			t, err := bench.FaultSweep(*scale, *seed)
 			if err != nil {
 				return err
 			}
-			fmt.Println(t.Render())
+			fmt.Fprintln(w, t.Render())
 		default:
 			return unknownExpErr(name)
 		}
@@ -381,9 +391,20 @@ func main() {
 	if *exp == "all" {
 		names = allExperiments
 	}
-	for _, name := range names {
-		if err := run(name); err != nil {
-			fmt.Fprintln(os.Stderr, "mcio:", err)
+	outs := make([]string, len(names))
+	errs := make([]error, len(names))
+	bench.ForEach(len(names), func(i int) error {
+		var b strings.Builder
+		errs[i] = run(names[i], &b)
+		outs[i] = b.String()
+		return errs[i]
+	})
+	for i := range names {
+		// Output computed before the first error still prints, as in the
+		// serial run; the first error (by experiment order) then exits.
+		os.Stdout.WriteString(outs[i])
+		if errs[i] != nil {
+			fmt.Fprintln(os.Stderr, "mcio:", errs[i])
 			os.Exit(1)
 		}
 	}
@@ -391,8 +412,8 @@ func main() {
 
 // fig2 reproduces the paper's Figure 2 as a trace: six processes, two
 // aggregators, classic two-phase collective read.
-func fig2() error {
-	fmt.Println("Figure 2: two-phase collective I/O (6 processes, 2 aggregator nodes)")
+func fig2(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 2: two-phase collective I/O (6 processes, 2 aggregator nodes)")
 	topo, err := mpi.BlockTopology(6, 3)
 	if err != nil {
 		return err
@@ -418,19 +439,19 @@ func fig2() error {
 		return err
 	}
 	for i, d := range plan.Domains {
-		fmt.Printf("  file domain %d: bytes %d..%d -> aggregator rank %d on node %d\n",
+		fmt.Fprintf(w, "  file domain %d: bytes %d..%d -> aggregator rank %d on node %d\n",
 			i, d.Extents[0].Offset, d.Extents[len(d.Extents)-1].End(), d.Aggregator, d.AggNode)
 	}
-	fmt.Println("  phase 1 (I/O): each aggregator reads its file domain in buffer-sized rounds")
-	fmt.Println("  phase 2 (communication): aggregators scatter the data to the requesting processes")
-	fmt.Println()
+	fmt.Fprintln(w, "  phase 1 (I/O): each aggregator reads its file domain in buffer-sized rounds")
+	fmt.Fprintln(w, "  phase 2 (communication): aggregators scatter the data to the requesting processes")
+	fmt.Fprintln(w, )
 	return nil
 }
 
 // fig4 reproduces the paper's Figure 4: aggregation-group division across
 // nine processes on three compute nodes with a serial data distribution.
-func fig4() error {
-	fmt.Println("Figure 4: aggregation group division (9 processes, 3 nodes, serial distribution)")
+func fig4(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 4: aggregation group division (9 processes, 3 nodes, serial distribution)")
 	topo, err := mpi.BlockTopology(9, 3)
 	if err != nil {
 		return err
@@ -458,19 +479,19 @@ func fig4() error {
 		for i, r := range g.Ranks {
 			ranks[i] = fmt.Sprintf("P%d", r)
 		}
-		fmt.Printf("  group %d: file [%d..%d) members %s (node boundary respected)\n",
+		fmt.Fprintf(w, "  group %d: file [%d..%d) members %s (node boundary respected)\n",
 			g.Index, g.Region.Offset, g.Region.End(), strings.Join(ranks, " "))
 	}
-	fmt.Println()
+	fmt.Fprintln(w, )
 	return nil
 }
 
 // fig5 demonstrates the two partition-tree remerge cases of Figures 5a/5b.
-func fig5() error {
-	fmt.Println("Figure 5: file-domain remerge on the binary partition tree")
+func fig5(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 5: file-domain remerge on the binary partition tree")
 	show := func(t *core.PartitionTree) {
 		for i, l := range t.Leaves() {
-			fmt.Printf("    leaf %d: [%d..%d) %d bytes\n",
+			fmt.Fprintf(w, "    leaf %d: [%d..%d) %d bytes\n",
 				i, l.Extents[0].Offset, l.Extents[len(l.Extents)-1].End(), l.Bytes)
 		}
 	}
@@ -479,12 +500,12 @@ func fig5() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("  case 5a — before (sibling is a leaf):")
+	fmt.Fprintln(w, "  case 5a — before (sibling is a leaf):")
 	show(t5a)
 	if _, err := t5a.Remerge(t5a.Root.Left); err != nil {
 		return err
 	}
-	fmt.Println("  after removing the left leaf, its sibling takes over directly:")
+	fmt.Fprintln(w, "  after removing the left leaf, its sibling takes over directly:")
 	show(t5a)
 
 	// Case 5b: sibling is an internal vertex; DFS finds the adjacent leaf.
@@ -495,20 +516,20 @@ func fig5() error {
 	if _, err := t5b.Remerge(t5b.Root.Left.Left); err != nil {
 		return err
 	}
-	fmt.Println("  case 5b — before (left leaf's sibling subtree was further split):")
+	fmt.Fprintln(w, "  case 5b — before (left leaf's sibling subtree was further split):")
 	show(t5b)
 	if _, err := t5b.Remerge(t5b.Root.Left); err != nil {
 		return err
 	}
-	fmt.Println("  after removal, the DFS-adjacent leaf of the sibling subtree absorbs it:")
+	fmt.Fprintln(w, "  after removal, the DFS-adjacent leaf of the sibling subtree absorbs it:")
 	show(t5b)
-	fmt.Println()
+	fmt.Fprintln(w, )
 	return nil
 }
 
 // tune runs the parameter auto-tuner (the paper's deferred "optimal
 // values" study) on the Figure 7 workload and prints the search table.
-func tune(scale int64, seed uint64) error {
+func tune(w io.Writer, scale int64, seed uint64) error {
 	cfg := bench.Fig7Config(scale, seed)
 	cfg.MemMB = []int{16}
 	wl, name := bench.Fig7Workload(cfg)
@@ -516,14 +537,14 @@ func tune(scale int64, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("parameter auto-tuning on %s\n", name)
-	fmt.Println(res.Render(8))
+	fmt.Fprintf(w, "parameter auto-tuning on %s\n", name)
+	fmt.Fprintln(w, res.Render(8))
 	return nil
 }
 
 // describePlans prints both strategies' placement decisions for the
 // Figure 7 workload at 8 MB — the "where did my aggregators go" view.
-func describePlans(scale int64, seed uint64) error {
+func describePlans(w io.Writer, scale int64, seed uint64) error {
 	cfg := bench.Fig7Config(scale, seed)
 	cfg.MemMB = []int{8}
 	plans, topo, err := bench.PlansAt(cfg, 8)
@@ -531,7 +552,7 @@ func describePlans(scale int64, seed uint64) error {
 		return err
 	}
 	for _, p := range plans {
-		fmt.Println(p.Describe(topo))
+		fmt.Fprintln(w, p.Describe(topo))
 	}
 	return nil
 }

@@ -13,7 +13,6 @@ package bench
 
 import (
 	"fmt"
-	"sync"
 
 	"mcio/internal/collio"
 	"mcio/internal/core"
@@ -250,59 +249,53 @@ func runSweep(cfg Config, wl Workload, workloadName string, strategies []collio.
 	for i := range zs {
 		zs[i] = r.Normal(0, 1)
 	}
-	// Sweep points are independent; run them concurrently. Results land
-	// in per-point slots so the output order — and therefore the series —
-	// is identical to the sequential run.
-	pointResults := make([][]Point, len(cfg.MemMB))
-	errs := make([]error, len(cfg.MemMB))
-	var wg sync.WaitGroup
-	for pi, memMB := range cfg.MemMB {
-		wg.Add(1)
-		go func(pi, memMB int) {
-			defer wg.Done()
-			memMean := cfg.scaled(int64(memMB) * MB)
-			// Same availability state for both strategies and both
-			// directions: they face the identical machine, as in the
-			// paper's runs.
-			ctx, err := cfg.context(memMean, zs, wl.TotalBytes())
-			if err != nil {
-				errs[pi] = err
-				return
-			}
-			for _, s := range strategies {
-				plan, err := s.Plan(ctx, reqs)
-				if err != nil {
-					errs[pi] = fmt.Errorf("bench %s: %s at %d MB: %w", cfg.Name, s.Name(), memMB, err)
-					return
-				}
-				if err := plan.Validate(reqs); err != nil {
-					errs[pi] = fmt.Errorf("bench %s: %s at %d MB: %w", cfg.Name, s.Name(), memMB, err)
-					return
-				}
-				for _, op := range []collio.Op{collio.Write, collio.Read} {
-					res, err := collio.Cost(ctx, plan, reqs, op, opt)
-					if err != nil {
-						errs[pi] = err
-						return
-					}
-					pointResults[pi] = append(pointResults[pi], Point{
-						MemMB:    memMB,
-						Strategy: s.Name(),
-						Op:       op.String(),
-						MBps:     res.Bandwidth / 1e6,
-						Result:   res,
-					})
-				}
-			}
-		}(pi, memMB)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	// Every (memory point × strategy) cell is an independent plan+cost
+	// simulation; ForEach fans them across the worker pool. Results land
+	// in per-cell slots flattened in index order, so the series — and
+	// everything rendered from it — is byte-identical to the serial run.
+	type cell struct{ pi, si int }
+	cells := make([]cell, 0, len(cfg.MemMB)*len(strategies))
+	for pi := range cfg.MemMB {
+		for si := range strategies {
+			cells = append(cells, cell{pi, si})
 		}
 	}
-	for _, pts := range pointResults {
+	cellResults := make([][]Point, len(cells))
+	err = ForEach(len(cells), func(ci int) error {
+		c := cells[ci]
+		memMB := cfg.MemMB[c.pi]
+		s := strategies[c.si]
+		memMean := cfg.scaled(int64(memMB) * MB)
+		// Same availability state for both strategies and both
+		// directions: they face the identical machine, as in the
+		// paper's runs.
+		ctx, err := cfg.context(memMean, zs, wl.TotalBytes())
+		if err != nil {
+			return err
+		}
+		plan, err := collio.CachedPlan(s, ctx, reqs)
+		if err != nil {
+			return fmt.Errorf("bench %s: %s at %d MB: %w", cfg.Name, s.Name(), memMB, err)
+		}
+		for _, op := range []collio.Op{collio.Write, collio.Read} {
+			res, err := collio.Cost(ctx, plan, reqs, op, opt)
+			if err != nil {
+				return err
+			}
+			cellResults[ci] = append(cellResults[ci], Point{
+				MemMB:    memMB,
+				Strategy: s.Name(),
+				Op:       op.String(),
+				MBps:     res.Bandwidth / 1e6,
+				Result:   res,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pts := range cellResults {
 		series.Points = append(series.Points, pts...)
 	}
 	return series, nil
@@ -391,7 +384,7 @@ func PlansAt(cfg Config, memMB int) ([]*collio.Plan, mpi.Topology, error) {
 	}
 	var plans []*collio.Plan
 	for _, s := range []collio.Strategy{twophase.New(), core.New()} {
-		plan, err := s.Plan(ctx, reqs)
+		plan, err := collio.CachedPlan(s, ctx, reqs)
 		if err != nil {
 			return nil, mpi.Topology{}, err
 		}

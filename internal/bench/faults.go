@@ -95,29 +95,43 @@ func faultSweepRun(scale int64, seed uint64) ([]FaultPoint, error) {
 
 	// Fault-free reference per strategy: the overhead denominator and the
 	// fault horizon (schedules span 4× the clean run so mid-operation
-	// faults actually land mid-operation).
-	ref := map[string]float64{}
-	for _, strategy := range []string{"two-phase", "memory-conscious"} {
-		res, err := faultedRun(ctx, reqs, strategy, opt, faults.DefaultSpec(seed, 1).WithRate(0))
+	// faults actually land mid-operation). The two references and then
+	// every (rate × strategy) cell are independent runs — each rebuilds
+	// its own plan, injector and engine from the shared read-only ctx —
+	// so both fan out across the worker pool, collected by index.
+	strategies := []string{"two-phase", "memory-conscious"}
+	refs := make([]float64, len(strategies))
+	err = ForEach(len(strategies), func(si int) error {
+		res, err := faultedRun(ctx, reqs, strategies[si], opt, faults.DefaultSpec(seed, 1).WithRate(0))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ref[strategy] = res.Seconds
+		refs[si] = res.Seconds
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	var points []FaultPoint
-	for _, rate := range faultRates() {
-		for _, strategy := range []string{"two-phase", "memory-conscious"} {
-			spec := faults.DefaultSpec(seed, ref[strategy]*4).WithRate(rate)
-			res, err := faultedRun(ctx, reqs, strategy, opt, spec)
-			if err != nil {
-				return nil, fmt.Errorf("bench faults: %s at rate %g: %w", strategy, rate, err)
-			}
-			points = append(points, FaultPoint{
-				Rate: rate, Strategy: strategy, RefSeconds: ref[strategy],
-				Res: res, Overlap: opt.Overlap,
-			})
+	rates := faultRates()
+	points := make([]FaultPoint, len(rates)*len(strategies))
+	err = ForEach(len(points), func(ci int) error {
+		rate := rates[ci/len(strategies)]
+		si := ci % len(strategies)
+		strategy := strategies[si]
+		spec := faults.DefaultSpec(seed, refs[si]*4).WithRate(rate)
+		res, err := faultedRun(ctx, reqs, strategy, opt, spec)
+		if err != nil {
+			return fmt.Errorf("bench faults: %s at rate %g: %w", strategy, rate, err)
 		}
+		points[ci] = FaultPoint{
+			Rate: rate, Strategy: strategy, RefSeconds: refs[si],
+			Res: res, Overlap: opt.Overlap,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -79,20 +79,30 @@ func Observe(figure string, scale int64, seed uint64, memMB int, op collio.Op) (
 	opt.Trace = true
 	opt.Overlap = cfg.Overlap
 
-	var b strings.Builder
-	fmt.Fprintf(&b, "observe %s: %s, %s, %d MB per aggregator\n", figure, name, op, memMB)
-	for _, s := range []collio.Strategy{twophase.New(), core.New()} {
+	strategies := []collio.Strategy{twophase.New(), core.New()}
+	// The tracer assigns process ids in registration order; registering
+	// both strategies up front pins the ids, so the parallel fan-out
+	// below exports a byte-identical trace. Within one strategy all spans
+	// come from its own goroutine, and same-(PID,TID) spans share a
+	// tracer shard, so their order is deterministic too.
+	for _, s := range strategies {
+		ctx.Obs.Tracer().PID(s.Name())
+	}
+	summaries := make([]string, len(strategies))
+	err = ForEach(len(strategies), func(i int) error {
+		s := strategies[i]
 		plan, err := s.Plan(ctx, reqs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := plan.Validate(reqs); err != nil {
-			return nil, err
+			return err
 		}
 		res, err := collio.Cost(ctx, plan, reqs, op, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		var b strings.Builder
 		fmt.Fprintf(&b, "%s: %d domains, %d rounds, %.4fs simulated (%.1f MB/s)\n",
 			s.Name(), len(plan.Domains), len(res.Trace), res.Seconds,
 			float64(wl.TotalBytes())/res.Seconds/1e6)
@@ -100,6 +110,16 @@ func Observe(figure string, scale int64, seed uint64, memMB int, op collio.Op) (
 			fmt.Fprintf(&b, "  %s\n", line)
 		}
 		fmt.Fprintf(&b, "  %s\n", blameLine(res.Trace, res.Seconds, opt.Overlap))
+		summaries[i] = b.String()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "observe %s: %s, %s, %d MB per aggregator\n", figure, name, op, memMB)
+	for _, s := range summaries {
+		b.WriteString(s)
 	}
 	return &ObserveResult{Obs: ctx.Obs, Summary: b.String()}, nil
 }

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mcio/internal/collio"
+	"mcio/internal/obs"
+)
+
+// renderAll produces every user-visible byte of one Figure 7 sweep: the
+// summary table, the details table and the JSON export.
+func renderAll(t testing.TB, scale int64, seed uint64) string {
+	t.Helper()
+	s, err := Fig7(scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(Render(s))
+	b.WriteString(RenderDetails(s))
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// The tentpole invariant: the parallel sweep engine renders byte-identical
+// output to the serial path at any worker count. Cells land in per-index
+// slots and are flattened in order, so the schedule cannot leak in.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(1)
+	want := renderAll(t, testScale, 42)
+	for _, workers := range []int{2, 4, 16} {
+		SetParallelism(workers)
+		if got := renderAll(t, testScale, 42); got != want {
+			t.Fatalf("workers=%d: rendered sweep differs from the serial run", workers)
+		}
+	}
+}
+
+// The run ledger — what `mcio bench -out` writes and the CI perf gate
+// diffs against baselines/ — must be scheduling-invariant too.
+func TestParallelLedgerByteIdentical(t *testing.T) {
+	defer SetParallelism(0)
+	marshal := func() []byte {
+		rec, err := Ledger("fig6", testScale, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	SetParallelism(1)
+	want := marshal()
+	SetParallelism(4)
+	if got := marshal(); !bytes.Equal(got, want) {
+		t.Fatal("fig6 ledger differs between serial and parallel runs")
+	}
+}
+
+// The resilience sweep fans (rate × strategy) cells out too; its points
+// must come back in the serial order with the serial values.
+func TestParallelFaultSweepIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two fault sweeps")
+	}
+	defer SetParallelism(0)
+	SetParallelism(1)
+	want, err := faultSweepRun(testScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(4)
+	got, err := faultSweepRun(testScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("point counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Rate != w.Rate || g.Strategy != w.Strategy ||
+			g.RefSeconds != w.RefSeconds || g.Res.Seconds != w.Res.Seconds ||
+			g.Res.RecoverySeconds != w.Res.RecoverySeconds {
+			t.Fatalf("point %d differs: serial %+v parallel %+v", i, w, g)
+		}
+	}
+}
+
+// observeArtifacts renders everything an Observe run exports: the
+// summary, the Chrome trace and the metrics snapshot.
+func observeArtifacts(t testing.TB) string {
+	t.Helper()
+	res, err := Observe("fig7", testScale, 42, 16, collio.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(res.Summary)
+	if err := obs.WriteChromeTrace(&b, res.Obs.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteMetricsJSON(&b, res.Obs.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// Observe fans both strategies out against one shared Observer; the
+// exported trace and metrics must still be byte-identical to the serial
+// run (tracer PIDs are pre-registered, spans sort deterministically,
+// shared counters are commutative adds). Run under -race in CI, this is
+// also the race-cleanliness assertion for concurrent obs usage.
+func TestParallelObserveByteIdentical(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(1)
+	want := observeArtifacts(t)
+	SetParallelism(4)
+	if got := observeArtifacts(t); got != want {
+		t.Fatal("observe artifacts differ between serial and parallel runs")
+	}
+}
+
+// BenchmarkFig6Sweep measures the full Figure 6 sweep end to end at
+// several worker budgets. The plan cache is reset each iteration so every
+// run pays the full plan+cost path; expect ~min(workers, cores)× speedup
+// on a multi-core runner and parity on a single-core host.
+func BenchmarkFig6Sweep(b *testing.B) {
+	defer SetParallelism(0)
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			SetParallelism(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				collio.ResetPlanCache()
+				if _, err := Fig6(testScale, 42); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6SweepWarmCache isolates the plan memoization win: after
+// the first sweep, every cell's partition tree comes from the cache and
+// only the cost engine runs.
+func BenchmarkFig6SweepWarmCache(b *testing.B) {
+	defer SetParallelism(0)
+	SetParallelism(1)
+	collio.ResetPlanCache()
+	if _, err := Fig6(testScale, 42); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig6(testScale, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -42,8 +42,12 @@ func trajectoryRun(scale int64, seed uint64) ([]TrajectoryPoint, error) {
 	for i := range zs {
 		zs[i] = r.Normal(0, 1)
 	}
-	var points []TrajectoryPoint
-	for _, tt := range []float64{0, 0.25, 0.5, 0.75, 1} {
+	// Design points are independent simulations; fan them across the
+	// worker pool, collected by index so the table order never changes.
+	ts := []float64{0, 0.25, 0.5, 0.75, 1}
+	points := make([]TrajectoryPoint, len(ts))
+	err := ForEach(len(ts), func(pi int) error {
+		tt := ts[pi]
 		mc := machine.Interpolate(tt).Scaled(nodes)
 		mc.NetLatency /= float64(scale)
 
@@ -55,7 +59,7 @@ func trajectoryRun(scale int64, seed uint64) ([]TrajectoryPoint, error) {
 		}
 		topo, err := mpi.BlockTopology(ranks, ranksPerNode)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		avail := make([]int64, nodes)
 		for i := range avail {
@@ -81,27 +85,28 @@ func trajectoryRun(scale int64, seed uint64) ([]TrajectoryPoint, error) {
 		w := workload.IOR{Ranks: ranks, BlockSize: 4 * aggMem, TransferSize: 4 * aggMem, Segments: 4}
 		reqs, err := w.Requests()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opt := sim.DefaultOptions()
 		opt.Trace = true
 		pt := TrajectoryPoint{T: tt, MemPerCore: mc.MemPerCore(),
 			Results: map[string]*collio.CostResult{}, Overlap: opt.Overlap}
 		for _, s := range []collio.Strategy{twophase.New(), core.New()} {
-			plan, err := s.Plan(ctx, reqs)
+			plan, err := collio.CachedPlan(s, ctx, reqs)
 			if err != nil {
-				return nil, err
-			}
-			if err := plan.Validate(reqs); err != nil {
-				return nil, err
+				return err
 			}
 			res, err := collio.Cost(ctx, plan, reqs, collio.Write, opt)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pt.Results[s.Name()] = res
 		}
-		points = append(points, pt)
+		points[pi] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

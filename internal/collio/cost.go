@@ -2,6 +2,7 @@ package collio
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"mcio/internal/obs"
@@ -135,7 +136,11 @@ func Cost(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options) 
 	// memory-conscious strategy confines it to each group.
 	extCount := make(map[int]int, len(reqs))
 	for _, r := range reqs {
-		extCount[r.Rank] = len(pfs.NormalizeExtents(r.Extents))
+		n := len(r.Extents)
+		if !pfs.IsNormalized(r.Extents) {
+			n = len(pfs.NormalizeExtents(r.Extents))
+		}
+		extCount[r.Rank] = n
 	}
 	aggsByGroup := make(map[int][]int)
 	for _, d := range plan.Domains {
@@ -183,12 +188,14 @@ func Cost(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options) 
 	}
 	if len(plan.Domains) > 0 {
 		index := NewExtentIndex(buckets)
+		var overlaps []int64 // one scratch allocation for all requests
 		for _, r := range reqs {
 			if len(r.Extents) == 0 {
 				continue
 			}
 			node := ctx.Topo.NodeOf(r.Rank)
-			for i, b := range index.OverlapBytes(r.Extents) {
+			overlaps = index.OverlapBytesInto(overlaps, r.Extents)
+			for i, b := range overlaps {
 				if b > 0 {
 					domainContribs[i] = append(domainContribs[i], contrib{rank: r.Rank, node: node, bytes: b})
 				}
@@ -196,8 +203,12 @@ func Cost(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options) 
 		}
 	}
 
+	// The engine does not retain a Round's slices past RunRound, so one
+	// Round's backing arrays are recycled across the whole loop.
+	var round sim.Round
 	for k := 0; k < maxRounds; k++ {
-		var round sim.Round
+		round.Messages = round.Messages[:0]
+		round.IOOps = round.IOOps[:0]
 		for i, d := range plan.Domains {
 			rounds := d.Rounds()
 			if k >= rounds {
@@ -289,12 +300,18 @@ func (r *CostResult) String() string {
 		r.Aggregators, r.PagedAggregators, r.MaxRounds)
 }
 
+// dedupInts sorts xs in place and compacts out duplicates — O(n log n),
+// no allocation. The returned slice aliases xs. Callers only feed the
+// result into order-independent accumulations (per-node byte sums,
+// commutative counters), so the ordering is free to change.
 func dedupInts(xs []int) []int {
-	seen := make(map[int]bool, len(xs))
-	out := xs[:0]
-	for _, x := range xs {
-		if !seen[x] {
-			seen[x] = true
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
 			out = append(out, x)
 		}
 	}

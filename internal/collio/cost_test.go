@@ -1,0 +1,65 @@
+package collio
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"mcio/internal/stats"
+)
+
+func TestDedupInts(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []int
+		want []int
+	}{
+		{"nil", nil, nil},
+		{"empty", []int{}, []int{}},
+		{"single", []int{5}, []int{5}},
+		{"already unique sorted", []int{1, 2, 3}, []int{1, 2, 3}},
+		{"reversed", []int{3, 2, 1}, []int{1, 2, 3}},
+		{"duplicates", []int{3, 1, 2, 3, 1}, []int{1, 2, 3}},
+		{"all equal", []int{7, 7, 7, 7}, []int{7}},
+		{"negative and zero", []int{0, -2, 5, -2, 0}, []int{-2, 0, 5}},
+	}
+	for _, c := range cases {
+		in := append([]int(nil), c.in...)
+		got := dedupInts(in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: dedupInts(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// Property: dedupInts returns exactly the distinct elements of its input,
+// sorted ascending, for arbitrary inputs.
+func TestDedupIntsMatchesNaive(t *testing.T) {
+	r := stats.NewRNG(83)
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(50)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = r.Intn(20) - 10 // dense range forces duplicates
+		}
+		seen := map[int]bool{}
+		for _, x := range in {
+			seen[x] = true
+		}
+		var want []int
+		for x := range seen {
+			want = append(want, x)
+		}
+		sort.Ints(want)
+		got := dedupInts(append([]int(nil), in...))
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: dedupInts(%v) = %v, want %v", trial, in, got, want)
+		}
+	}
+}

@@ -3,10 +3,42 @@ package collio
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mcio/internal/mpi"
 	"mcio/internal/pfs"
 )
+
+// stagePool recycles the gather/scatter staging buffers of Exec. Ranks
+// run as goroutines and a collective write churns one chunk per
+// (domain, contributor) plus one domain buffer per aggregator; pooling
+// them keeps the shuffle hot path allocation-free after warm-up. A chunk
+// handed to mpi.Proc.Send transfers ownership with the message — the
+// receiver releases it after scattering.
+var stagePool sync.Pool
+
+// getStage returns a length-n buffer with unspecified contents — every
+// use either fully overwrites it (gather output) or zeroes it first
+// (domain assembly).
+func getStage(n int64) []byte {
+	if v := stagePool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if int64(cap(b)) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// putStage recycles a buffer obtained from getStage (or received in a
+// message whose sender staged it there).
+func putStage(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	stagePool.Put(&b)
+}
 
 // RankData pairs one rank's request with its in-memory buffer. The buffer
 // is the concatenation of the request's normalized extents in file order
@@ -83,14 +115,18 @@ func Exec(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op Op) erro
 				}
 			}
 			if op == Write {
-				// Contributors ship their overlap bytes to the aggregator.
+				// Contributors ship their overlap bytes to the aggregator,
+				// which releases the chunk once scattered.
 				if myIdx >= 0 && me != d.Aggregator {
 					p.Send(d.Aggregator, i, gather(normReq[me], data[me].Buf, sched.overlap[myIdx]))
 				}
 				if me != d.Aggregator {
 					continue
 				}
-				domBuf := make([]byte, d.Bytes)
+				// Zeroed: domain bytes no contributor covers must land on
+				// disk as zeros, exactly as a fresh allocation would.
+				domBuf := getStage(d.Bytes)
+				clear(domBuf)
 				for j, r := range sched.contributors {
 					var chunk []byte
 					if r == me {
@@ -99,6 +135,7 @@ func Exec(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op Op) erro
 						chunk = p.Recv(r, i)
 					}
 					scatter(d.Extents, domBuf, sched.overlap[j], chunk)
+					putStage(chunk)
 				}
 				var pos int64
 				for _, e := range d.Extents {
@@ -107,11 +144,14 @@ func Exec(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op Op) erro
 					}
 					pos += e.Length
 				}
+				putStage(domBuf)
 				continue
 			}
-			// Read: the aggregator loads the domain and distributes.
+			// Read: the aggregator loads the domain and distributes. The
+			// extents sum to d.Bytes, so the reads fill the whole buffer —
+			// no zeroing needed.
 			if me == d.Aggregator {
-				domBuf := make([]byte, d.Bytes)
+				domBuf := getStage(d.Bytes)
 				var pos int64
 				for _, e := range d.Extents {
 					if _, err := file.ReadAt(domBuf[pos:pos+e.Length], e.Offset); err != nil {
@@ -123,14 +163,17 @@ func Exec(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op Op) erro
 					chunk := gather(d.Extents, domBuf, sched.overlap[j])
 					if r == me {
 						scatter(normReq[me], data[me].Buf, sched.overlap[j], chunk)
+						putStage(chunk)
 					} else {
 						p.Send(r, i, chunk)
 					}
 				}
+				putStage(domBuf)
 			}
 			if myIdx >= 0 && me != d.Aggregator {
 				chunk := p.Recv(d.Aggregator, i)
 				scatter(normReq[me], data[me].Buf, sched.overlap[myIdx], chunk)
+				putStage(chunk)
 			}
 		}
 	})
@@ -151,9 +194,10 @@ func dataPos(exts []pfs.Extent, off int64) int64 {
 
 // gather copies the bytes of the want extents (each contained in a single
 // extent of exts) out of a buffer laid out per exts, concatenated in file
-// order.
+// order. The result comes from stagePool; the consumer returns it with
+// putStage once scattered.
 func gather(exts []pfs.Extent, buf []byte, want []pfs.Extent) []byte {
-	out := make([]byte, 0, pfs.TotalBytes(want))
+	out := getStage(pfs.TotalBytes(want))[:0]
 	for _, w := range want {
 		pos := dataPos(exts, w.Offset)
 		out = append(out, buf[pos:pos+w.Length]...)

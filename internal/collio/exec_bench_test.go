@@ -1,0 +1,111 @@
+package collio_test
+
+import (
+	"testing"
+
+	"mcio/internal/collio"
+	"mcio/internal/core"
+	"mcio/internal/pfs"
+)
+
+// execFixture builds a planned interleaved workload and its write-side
+// rank buffers — the data-movement hot path the staging-buffer pool
+// serves.
+func execFixture(b *testing.B) (*collio.Context, *collio.Plan, []collio.RankData, *pfs.File) {
+	b.Helper()
+	params := collio.DefaultParams(4096)
+	params.MsgGroup = 1 << 16
+	params.MsgInd = 1 << 14
+	params.MemMin = 1024
+	ctx := buildContext(b, 12, 3, params, nil)
+	const unit = 2048
+	reqs := make([]collio.RankRequest, 12)
+	for r := range reqs {
+		reqs[r].Rank = r
+		for seg := 0; seg < 8; seg++ {
+			reqs[r].Extents = append(reqs[r].Extents,
+				pfs.Extent{Offset: int64(seg*12+r) * unit, Length: unit})
+		}
+	}
+	plan, err := core.New().Plan(ctx, reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := plan.Validate(reqs); err != nil {
+		b.Fatal(err)
+	}
+	data := make([]collio.RankData, 12)
+	for r := range data {
+		buf := make([]byte, reqs[r].Bytes())
+		fillPattern(r, buf)
+		data[r] = collio.RankData{Req: reqs[r], Buf: buf}
+	}
+	fsys, err := pfs.NewFileSystem(ctx.FS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctx, plan, data, fsys.Open("bench")
+}
+
+func BenchmarkExecWrite(b *testing.B) {
+	ctx, plan, data, file := execFixture(b)
+	b.SetBytes(plan.TotalBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := collio.Exec(ctx, plan, data, file, collio.Write); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecRead(b *testing.B) {
+	ctx, plan, data, file := execFixture(b)
+	if err := collio.Exec(ctx, plan, data, file, collio.Write); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(plan.TotalBytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := collio.Exec(ctx, plan, data, file, collio.Read); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachedPlan prices the memoized planning path against a cold
+// plan each iteration.
+func BenchmarkCachedPlan(b *testing.B) {
+	params := collio.DefaultParams(128)
+	params.MemMin = 16
+	ctx := buildContext(b, 24, 4, params, nil)
+	reqs := make([]collio.RankRequest, 24)
+	for r := range reqs {
+		reqs[r] = collio.RankRequest{
+			Rank:    r,
+			Extents: []pfs.Extent{{Offset: int64(r) * 4096, Length: 4096}},
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			collio.ResetPlanCache()
+			if _, err := collio.CachedPlan(core.New(), ctx, reqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		collio.ResetPlanCache()
+		if _, err := collio.CachedPlan(core.New(), ctx, reqs); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := collio.CachedPlan(core.New(), ctx, reqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	collio.ResetPlanCache()
+}

@@ -45,8 +45,27 @@ func NewExtentIndex(buckets [][]pfs.Extent) *ExtentIndex {
 // OverlapBytes returns the bytes of exts (normalized or not) landing in
 // each bucket, indexed by bucket id.
 func (x *ExtentIndex) OverlapBytes(exts []pfs.Extent) []int64 {
-	out := make([]int64, x.n)
-	norm := pfs.NormalizeExtents(exts)
+	return x.OverlapBytesInto(nil, exts)
+}
+
+// OverlapBytesInto is OverlapBytes with a caller-owned scratch slice:
+// dst is grown (or allocated when nil/too small), zeroed, filled and
+// returned, so a caller querying many requests against one index reuses
+// a single allocation. Extents already in canonical form take a fast
+// path that skips the normalizing copy entirely — request lists in the
+// hot paths are generated normalized.
+func (x *ExtentIndex) OverlapBytesInto(dst []int64, exts []pfs.Extent) []int64 {
+	if cap(dst) < x.n {
+		dst = make([]int64, x.n)
+	} else {
+		dst = dst[:x.n]
+		clear(dst)
+	}
+	out := dst
+	norm := exts
+	if !pfs.IsNormalized(exts) {
+		norm = pfs.NormalizeExtents(exts)
+	}
 	i, j := 0, 0
 	for i < len(norm) && j < len(x.flat) {
 		a, b := norm[i], x.flat[j]

@@ -1,0 +1,113 @@
+package collio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// The plan cache memoizes validated plans. Sweeps re-derive identical
+// partition trees constantly — every (config, memory point, strategy)
+// cell is planned once per op pair, the tuner revisits parameter combos,
+// and repeated experiment invocations (benchmarks, ablation overlap
+// pairs) replan the very same inputs. Planning is deterministic, so the
+// cache can only return what Plan would have computed.
+//
+// The key covers everything planning reads: the concrete strategy type
+// and its exported fields (Name() alone is ambiguous — two-phase reports
+// "two-phase" for every AggregatorsPerNode), the machine, filesystem and
+// parameter configs, the topology's rank→node map, the availability
+// vector, and a fingerprint of the request list.
+var planCache = struct {
+	sync.Mutex
+	m map[string]*planEntry
+}{m: map[string]*planEntry{}}
+
+// planCacheLimit bounds the cache; on overflow the whole map is dropped
+// (sweeps re-warm it in one pass, an LRU would be ceremony here).
+const planCacheLimit = 512
+
+type planEntry struct {
+	once sync.Once
+	plan *Plan
+	err  error
+}
+
+// ResetPlanCache empties the cache — benchmarks use it to measure the
+// cold path.
+func ResetPlanCache() {
+	planCache.Lock()
+	planCache.m = map[string]*planEntry{}
+	planCache.Unlock()
+}
+
+// planKey derives the cache key for one planning input.
+func planKey(s Strategy, ctx *Context, reqs []RankRequest) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for r := 0; r < ctx.Topo.Size(); r++ {
+		w(int64(ctx.Topo.NodeOf(r)))
+	}
+	w(int64(len(ctx.Avail)))
+	for _, a := range ctx.Avail {
+		w(a)
+	}
+	w(int64(len(reqs)))
+	for _, r := range reqs {
+		w(int64(r.Rank))
+		w(int64(len(r.Extents)))
+		for _, e := range r.Extents {
+			w(e.Offset)
+			w(e.Length)
+		}
+	}
+	return fmt.Sprintf("%T|%+v|%+v|%+v|%+v|%x",
+		s, s, ctx.Machine, ctx.FS, ctx.Params, h.Sum64())
+}
+
+// CachedPlan returns s.Plan(ctx, reqs) with the plan validated against
+// reqs, memoized. The returned *Plan is shared: callers must treat it as
+// immutable (Cost only reads it; fault-injected paths, whose recovery
+// mutates plans mid-operation, must keep planning directly). Safe for
+// concurrent use — concurrent misses on one key plan once.
+//
+// When ctx.Obs is set the cache is bypassed entirely: planning publishes
+// observer metrics and spans, which a cache hit would silently drop.
+func CachedPlan(s Strategy, ctx *Context, reqs []RankRequest) (*Plan, error) {
+	if ctx.Obs != nil {
+		plan, err := s.Plan(ctx, reqs)
+		if err != nil {
+			return nil, err
+		}
+		if err := plan.Validate(reqs); err != nil {
+			return nil, err
+		}
+		return plan, nil
+	}
+	key := planKey(s, ctx, reqs)
+	planCache.Lock()
+	e := planCache.m[key]
+	if e == nil {
+		if len(planCache.m) >= planCacheLimit {
+			planCache.m = make(map[string]*planEntry, planCacheLimit)
+		}
+		e = &planEntry{}
+		planCache.m[key] = e
+	}
+	planCache.Unlock()
+	e.once.Do(func() {
+		e.plan, e.err = s.Plan(ctx, reqs)
+		if e.err == nil {
+			e.err = e.plan.Validate(reqs)
+		}
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.plan, nil
+}

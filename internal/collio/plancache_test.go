@@ -1,0 +1,186 @@
+package collio_test
+
+import (
+	"sync"
+	"testing"
+
+	"mcio/internal/collio"
+	"mcio/internal/core"
+	"mcio/internal/obs"
+	"mcio/internal/pfs"
+	"mcio/internal/twophase"
+)
+
+func cacheReqs(n int) []collio.RankRequest {
+	reqs := make([]collio.RankRequest, n)
+	for r := range reqs {
+		reqs[r] = collio.RankRequest{
+			Rank:    r,
+			Extents: []pfs.Extent{{Offset: int64(r) * 300, Length: 300}},
+		}
+	}
+	return reqs
+}
+
+func cacheCtx(t testing.TB) *collio.Context {
+	params := collio.DefaultParams(128)
+	params.MsgGroup = 1200
+	params.MsgInd = 400
+	params.MemMin = 16
+	return buildContext(t, 9, 3, params, nil)
+}
+
+func TestCachedPlanMemoizes(t *testing.T) {
+	collio.ResetPlanCache()
+	defer collio.ResetPlanCache()
+	ctx := cacheCtx(t)
+	reqs := cacheReqs(9)
+	s := core.New()
+
+	a, err := collio.CachedPlan(s, ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := collio.CachedPlan(s, ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second identical call replanned instead of hitting the cache")
+	}
+	// The cached plan is what direct planning produces.
+	direct, err := s.Plan(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalBytes() != direct.TotalBytes() || len(a.Domains) != len(direct.Domains) {
+		t.Fatalf("cached plan differs from direct plan: %d/%d bytes, %d/%d domains",
+			a.TotalBytes(), direct.TotalBytes(), len(a.Domains), len(direct.Domains))
+	}
+	// A fresh strategy instance with equal configuration hits the same key.
+	c, err := collio.CachedPlan(core.New(), ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("equal strategy configuration missed the cache")
+	}
+
+	collio.ResetPlanCache()
+	d, err := collio.CachedPlan(s, ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Fatal("ResetPlanCache did not drop the entry")
+	}
+}
+
+func TestCachedPlanKeyDistinguishesInputs(t *testing.T) {
+	collio.ResetPlanCache()
+	defer collio.ResetPlanCache()
+	ctx := cacheCtx(t)
+	reqs := cacheReqs(9)
+
+	base, err := collio.CachedPlan(twophase.New(), ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same Name(), different configuration: the key must separate them.
+	wide, err := collio.CachedPlan(&twophase.Strategy{AggregatorsPerNode: 2}, ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide == base {
+		t.Fatal("strategy configuration not part of the cache key")
+	}
+	if len(wide.Aggregators()) <= len(base.Aggregators()) {
+		t.Fatalf("AggregatorsPerNode=2 plan has %d aggregators, base %d",
+			len(wide.Aggregators()), len(base.Aggregators()))
+	}
+	// Different availability vector: a new planning input, a new entry.
+	ctx2 := cacheCtx(t)
+	ctx2.Avail = append([]int64(nil), ctx.Avail...)
+	ctx2.Avail[0] /= 2
+	other, err := collio.CachedPlan(twophase.New(), ctx2, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Fatal("availability vector not part of the cache key")
+	}
+	// Different requests: likewise.
+	reqs2 := cacheReqs(9)
+	reqs2[3].Extents[0].Length = 150
+	third, err := collio.CachedPlan(twophase.New(), ctx, reqs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third == base {
+		t.Fatal("request fingerprint not part of the cache key")
+	}
+}
+
+// Observed runs publish planner metrics and spans; a cache hit would
+// silently drop them, so CachedPlan must bypass the cache when an
+// Observer is attached.
+func TestCachedPlanBypassesCacheWhenObserved(t *testing.T) {
+	collio.ResetPlanCache()
+	defer collio.ResetPlanCache()
+	ctx := cacheCtx(t)
+	ctx.Obs = obs.New()
+	reqs := cacheReqs(9)
+	s := core.New()
+
+	a, err := collio.CachedPlan(s, ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := collio.CachedPlan(s, ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("observed run hit the cache")
+	}
+	// And the observed runs must not have populated it for others.
+	ctx.Obs = nil
+	c, err := collio.CachedPlan(s, ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a || c == b {
+		t.Fatal("observed run leaked into the cache")
+	}
+}
+
+// Concurrent misses on one key must plan exactly once and all return the
+// same plan (run under -race in CI).
+func TestCachedPlanConcurrent(t *testing.T) {
+	collio.ResetPlanCache()
+	defer collio.ResetPlanCache()
+	ctx := cacheCtx(t)
+	reqs := cacheReqs(9)
+
+	const goroutines = 8
+	plans := make([]*collio.Plan, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p, err := collio.CachedPlan(core.New(), ctx, reqs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[g] = p
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if plans[g] != plans[0] {
+			t.Fatal("concurrent callers got different plans for one key")
+		}
+	}
+}

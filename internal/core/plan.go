@@ -120,7 +120,9 @@ func (s *Strategy) placeGroup(
 	placed := make(map[*TreeNode]*collio.Domain)
 
 	// contributions computes, for the current leaf set, each contributing
-	// rank's bytes per leaf in one merge-walk per rank.
+	// rank's bytes per leaf in one merge-walk per rank. The overlap
+	// scratch is shared across remerge iterations.
+	var overlaps []int64
 	contributions := func(leaves []*TreeNode) [][]rankContribution {
 		buckets := make([][]pfs.Extent, len(leaves))
 		for i, l := range leaves {
@@ -136,7 +138,8 @@ func (s *Strategy) placeGroup(
 			if len(exts) == 0 {
 				continue
 			}
-			for i, b := range index.OverlapBytes(exts) {
+			overlaps = index.OverlapBytesInto(overlaps, exts)
+			for i, b := range overlaps {
 				if b > 0 {
 					out[i] = append(out[i], rankContribution{rank: r, bytes: b})
 				}

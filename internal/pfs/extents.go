@@ -19,6 +19,33 @@ func (e Extent) Overlaps(o Extent) bool {
 	return e.Offset < o.End() && o.Offset < e.End()
 }
 
+// IsNormalized reports whether exts already is its own canonical form:
+// every extent non-empty, ascending, and neither overlapping nor adjacent
+// to its predecessor. Consumers that only read an extent list use this to
+// skip the copy NormalizeExtents would make — most lists in the hot paths
+// (plan domains, partition-tree leaves, generated requests) are built
+// normalized.
+func IsNormalized(exts []Extent) bool {
+	for i, e := range exts {
+		if e.Length <= 0 {
+			return false
+		}
+		if i > 0 && e.Offset <= exts[i-1].End() {
+			return false
+		}
+	}
+	return true
+}
+
+// normalized returns exts itself when already canonical (read-only use
+// only: the result may alias the argument), else a normalized copy.
+func normalized(exts []Extent) []Extent {
+	if IsNormalized(exts) {
+		return exts
+	}
+	return NormalizeExtents(exts)
+}
+
 // NormalizeExtents sorts extents by offset and merges adjacent or
 // overlapping ones, dropping empty extents. The result is the canonical
 // minimal representation of the same byte set. It does not modify its
@@ -70,7 +97,7 @@ func SliceData(exts []Extent, dataOff, n int64) []Extent {
 	}
 	var out []Extent
 	var pos int64
-	for _, e := range NormalizeExtents(exts) {
+	for _, e := range normalized(exts) {
 		if n <= 0 {
 			break
 		}
@@ -97,7 +124,7 @@ func SliceData(exts []Extent, dataOff, n int64) []Extent {
 // Intersect returns the bytes present in both extent sets, normalized.
 // Inputs need not be normalized.
 func Intersect(a, b []Extent) []Extent {
-	na, nb := NormalizeExtents(a), NormalizeExtents(b)
+	na, nb := normalized(a), normalized(b)
 	var out []Extent
 	i, j := 0, 0
 	for i < len(na) && j < len(nb) {
@@ -132,7 +159,7 @@ func Clip(exts []Extent, lo, hi int64) []Extent {
 // Span returns the smallest extent covering all input extents, or the zero
 // Extent when the input holds no bytes.
 func Span(exts []Extent) Extent {
-	norm := NormalizeExtents(exts)
+	norm := normalized(exts)
 	if len(norm) == 0 {
 		return Extent{}
 	}
@@ -163,7 +190,7 @@ func (c Config) MapExtents(exts []Extent) []TargetAccess {
 	type objRange struct{ off, end int64 }
 	perTarget := make(map[int][]objRange)
 	su := c.StripeUnit
-	for _, e := range NormalizeExtents(exts) {
+	for _, e := range normalized(exts) {
 		off, remaining := e.Offset, e.Length
 		for remaining > 0 {
 			target, objOff := c.stripeLoc(off)

@@ -289,6 +289,18 @@ type Engine struct {
 	totals   Totals
 	trace    []TraceEntry
 	eo       *engineObs
+
+	// runRound scratch, recycled round to round (the Engine is
+	// single-goroutine by contract). The maps are drained into the
+	// freelists at the start of each round; emitRound reads them
+	// synchronously, so nothing outlives the call that filled it.
+	scLoads     map[int]*nodeLoad
+	scTargets   map[int]*targetLoad
+	freeLoads   []*nodeLoad
+	freeTargets []*targetLoad
+	scNodeIDs   []int
+	scTargetIDs []int
+	scNodeTime  []float64
 }
 
 // Track id conventions for engine-emitted spans. Tid 1 holds the
@@ -388,13 +400,15 @@ func NewEngine(mc machine.Config, st StorageParams, opt Options) (*Engine, error
 		return nil, err
 	}
 	return &Engine{
-		mc:       mc,
-		st:       st,
-		opt:      opt,
-		aggsPer:  map[int]int{},
-		paged:    map[int]float64{},
-		slowdown: map[int]float64{},
-		totals:   Totals{PerNodeShuffle: map[int]int64{}},
+		mc:        mc,
+		st:        st,
+		opt:       opt,
+		aggsPer:   map[int]int{},
+		paged:     map[int]float64{},
+		slowdown:  map[int]float64{},
+		totals:    Totals{PerNodeShuffle: map[int]int64{}},
+		scLoads:   map[int]*nodeLoad{},
+		scTargets: map[int]*targetLoad{},
 	}, nil
 }
 
@@ -515,11 +529,23 @@ func (e *Engine) RunRound(r Round) RoundCost { return e.runRound(r, false) }
 func (e *Engine) RunRecoveryRound(r Round) RoundCost { return e.runRound(r, true) }
 
 func (e *Engine) runRound(r Round, recovery bool) RoundCost {
-	loads := map[int]*nodeLoad{}
+	// Recycle the previous round's scratch: drained maps feed the
+	// freelists so steady-state rounds allocate nothing.
+	loads := e.scLoads
+	for n, l := range loads {
+		*l = nodeLoad{}
+		e.freeLoads = append(e.freeLoads, l)
+		delete(loads, n)
+	}
 	load := func(n int) *nodeLoad {
 		l := loads[n]
 		if l == nil {
-			l = &nodeLoad{}
+			if k := len(e.freeLoads); k > 0 {
+				l = e.freeLoads[k-1]
+				e.freeLoads = e.freeLoads[:k-1]
+			} else {
+				l = &nodeLoad{}
+			}
 			loads[n] = l
 		}
 		return l
@@ -553,7 +579,12 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 	}
 
 	// Storage accesses also traverse the issuing node's NIC and DRAM.
-	targets := map[int]*targetLoad{}
+	targets := e.scTargets
+	for t, tl := range targets {
+		*tl = targetLoad{}
+		e.freeTargets = append(e.freeTargets, tl)
+		delete(targets, t)
+	}
 	for _, op := range r.IOOps {
 		if op.Bytes < 0 {
 			panic("sim: negative I/O size")
@@ -583,7 +614,12 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 		}
 		tl := targets[op.Target]
 		if tl == nil {
-			tl = &targetLoad{}
+			if k := len(e.freeTargets); k > 0 {
+				tl = e.freeTargets[k-1]
+				e.freeTargets = e.freeTargets[:k-1]
+			} else {
+				tl = &targetLoad{}
+			}
 			targets[op.Target] = tl
 		}
 		if op.DelaySeconds < 0 {
@@ -618,20 +654,25 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 
 	// Node iteration is sorted so bottleneck ties and emitted spans are
 	// deterministic run to run.
-	nodeIDs := make([]int, 0, len(loads))
+	nodeIDs := e.scNodeIDs[:0]
 	for n := range loads {
 		nodeIDs = append(nodeIDs, n)
 	}
 	sort.Ints(nodeIDs)
-	targetIDs := make([]int, 0, len(targets))
+	e.scNodeIDs = nodeIDs
+	targetIDs := e.scTargetIDs[:0]
 	for t := range targets {
 		targetIDs = append(targetIDs, t)
 	}
 	sort.Ints(targetIDs)
+	e.scTargetIDs = targetIDs
 
 	binding := Binding{CommNode: -1, IOTarget: -1}
 	var comm, commPagedFrac float64
-	nodeTime := make([]float64, len(nodeIDs))
+	if cap(e.scNodeTime) < len(nodeIDs) {
+		e.scNodeTime = make([]float64, len(nodeIDs))
+	}
+	nodeTime := e.scNodeTime[:len(nodeIDs)] // every slot is written below
 	for i, n := range nodeIDs {
 		l := loads[n]
 		slow := e.pagedSlowdown(n) * e.nodeSlowdown(n)

@@ -94,11 +94,10 @@ func Tune(ctx *collio.Context, reqs []collio.RankRequest, op collio.Op, opt sim.
 				cctx.Params = params
 				copt := opt
 				copt.NahOpt = nah
-				plan, err := strategy.Plan(&cctx, reqs)
+				// Memoized: repeated tuner runs (and sweeps sharing a
+				// parameter combo) reuse the identical partition tree.
+				plan, err := collio.CachedPlan(strategy, &cctx, reqs)
 				if err != nil {
-					return nil, err
-				}
-				if err := plan.Validate(reqs); err != nil {
 					return nil, err
 				}
 				cost, err := collio.Cost(&cctx, plan, reqs, op, copt)
