@@ -30,6 +30,15 @@
 //	mcio bench fig6 -out BENCH_fig6.json
 //	mcio diff baselines/BENCH_fig6.json BENCH_fig6.json -tol 0.05
 //
+// The chaos subcommand runs a seeded soak of randomized collective
+// operations with silent-corruption injection (message bit flips, torn
+// OST writes) through the end-to-end integrity layer, checking the
+// invariant battery after every operation and exiting non-zero on any
+// violation or undetected corruption:
+//
+//	mcio chaos -seed 1 -ops 50
+//	mcio chaos -seed 7 -ops 200 -rate 4 -repair=false
+//
 // -scale divides every byte quantity (1 = paper-exact sizes, slower);
 // -seed drives the availability variance and every fault schedule —
 // the same seed reproduces a faulted run byte for byte; -details adds
@@ -219,6 +228,50 @@ func runDiff(args []string, out io.Writer) (int, error) {
 	return 0, nil
 }
 
+// runChaos is the `mcio chaos` subcommand: a seeded chaos soak through
+// the integrity layer. Returns the process exit code — 0 when every
+// invariant held and nothing went undetected, 1 otherwise.
+func runChaos(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mcio chaos [flags]")
+		fs.PrintDefaults()
+	}
+	seed := fs.Uint64("seed", 1, "campaign seed; the same seed reproduces the soak byte for byte")
+	ops := fs.Int("ops", 50, "randomized collective operations to run")
+	rate := fs.Float64("rate", 2, "silent-corruption rate multiplier (0 disables injection)")
+	repair := fs.Bool("repair", true, "repair detected corruptions (false proves detection of every injection instead)")
+	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot here (.csv selects CSV, .prom the Prometheus text format, otherwise JSON)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	o := obs.New()
+	rep, err := bench.Chaos(bench.ChaosConfig{
+		Seed: *seed, Ops: *ops, Rate: *rate, Repair: *repair, Obs: o,
+	})
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprint(out, rep.String())
+	if *metricsOut != "" {
+		write := func(f *os.File) error { return obs.WriteMetricsJSON(f, o.Metrics) }
+		switch {
+		case strings.HasSuffix(*metricsOut, ".csv"):
+			write = func(f *os.File) error { return obs.WriteMetricsCSV(f, o.Metrics) }
+		case strings.HasSuffix(*metricsOut, ".prom"):
+			write = func(f *os.File) error { return obs.WriteMetricsProm(f, o.Metrics) }
+		}
+		if err := writeFile(*metricsOut, write); err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(out, "wrote metrics %s\n", *metricsOut)
+	}
+	if len(rep.Violations) > 0 || rep.Undetected() > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
 // writeFile creates path, runs write on it, and reports the first error.
 func writeFile(path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
@@ -270,6 +323,12 @@ func main() {
 			code, err := runDiff(os.Args[2:], os.Stdout)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "mcio diff:", err)
+			}
+			os.Exit(code)
+		case "chaos":
+			code, err := runChaos(os.Args[2:], os.Stdout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcio chaos:", err)
 			}
 			os.Exit(code)
 		}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mcio/internal/obs"
+)
+
+// The repair-on acceptance campaign: a seeded soak must inject real
+// corruption, detect all of it, repair all of it, and hold every
+// invariant — including byte-identity of each file against its
+// fault-free oracle (checked inside Chaos after every operation).
+func TestChaosRepairOnCampaignClean(t *testing.T) {
+	rep, err := Chaos(ChaosConfig{Seed: 1, Ops: 40, Rate: 2, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("invariant violations:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Injected() == 0 || rep.InjectedFlips == 0 || rep.InjectedTorn == 0 {
+		t.Fatalf("campaign injected nothing: %+v", rep)
+	}
+	if rep.Undetected() != 0 {
+		t.Fatalf("%d corruptions went undetected", rep.Undetected())
+	}
+	if rep.Unrepaired != 0 {
+		t.Fatalf("%d corruptions unrepaired with repair on", rep.Unrepaired)
+	}
+	if int(rep.Detected) != rep.Injected() {
+		t.Fatalf("detected %d of %d injected", rep.Detected, rep.Injected())
+	}
+	if rep.Repaired == 0 || rep.RewrittenBytes == 0 {
+		t.Fatalf("repair path idle: %+v", rep)
+	}
+	// The soak must exercise the degradation ladder too.
+	if rep.ShrunkOps+rep.IndependentOps == 0 {
+		t.Fatal("no operation exercised the degradation ladder")
+	}
+	if rep.CollectiveOps == 0 {
+		t.Fatal("no operation ran the full collective path")
+	}
+	if s := rep.String(); !strings.Contains(s, "all held") {
+		t.Fatalf("summary %q does not report clean invariants", s)
+	}
+}
+
+// The repair-off acceptance campaign: every injected corruption must be
+// detected (exactly — the provable-detection guarantee), and every
+// detection accounted unrepaired.
+func TestChaosRepairOffDetectsEveryInjection(t *testing.T) {
+	rep, err := Chaos(ChaosConfig{Seed: 7, Ops: 40, Rate: 4, Repair: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("invariant violations:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Injected() == 0 {
+		t.Fatal("campaign injected nothing")
+	}
+	if int(rep.Detected) != rep.Injected() {
+		t.Fatalf("detected %d of %d injected corruptions", rep.Detected, rep.Injected())
+	}
+	if rep.Repaired != 0 || rep.RewrittenBytes != 0 {
+		t.Fatalf("repair ran with repair disabled: %+v", rep)
+	}
+	if rep.Unrepaired != rep.Detected {
+		t.Fatalf("unrepaired %d != detected %d", rep.Unrepaired, rep.Detected)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	a, err := Chaos(ChaosConfig{Seed: 11, Ops: 10, Rate: 2, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chaos(ChaosConfig{Seed: 11, Ops: 10, Rate: 2, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different campaigns:\n%+v\n%+v", a, b)
+	}
+	c, err := Chaos(ChaosConfig{Seed: 12, Ops: 10, Rate: 2, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical campaigns")
+	}
+}
+
+func TestChaosZeroRateIsClean(t *testing.T) {
+	rep, err := Chaos(ChaosConfig{Seed: 3, Ops: 10, Rate: 0, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected() != 0 || rep.Detected != 0 {
+		t.Fatalf("rate 0 injected/detected corruption: %+v", rep)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("rate 0 violated invariants:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+}
+
+func TestChaosExportsCounters(t *testing.T) {
+	o := obs.New()
+	rep, err := Chaos(ChaosConfig{Seed: 5, Ops: 10, Rate: 2, Repair: true, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Counter("chaos.ops").Value(); got != 10 {
+		t.Fatalf("chaos.ops = %d, want 10", got)
+	}
+	if got := o.Counter("chaos.corruptions_injected").Value(); got != int64(rep.Injected()) {
+		t.Fatalf("chaos.corruptions_injected = %d, want %d", got, rep.Injected())
+	}
+	if got := o.Counter("chaos.invariant_violations").Value(); got != int64(len(rep.Violations)) {
+		t.Fatalf("chaos.invariant_violations = %d, want %d", got, len(rep.Violations))
+	}
+	if got := o.Counter("integrity.corruptions_detected").Value(); got != rep.Detected {
+		t.Fatalf("integrity.corruptions_detected = %d, want %d", got, rep.Detected)
+	}
+}

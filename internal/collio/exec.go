@@ -77,29 +77,7 @@ func Exec(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op Op) erro
 		}
 	}
 
-	// Precompute, per domain, each contributing rank's overlap — every
-	// rank derives the identical schedule, as real two-phase code does
-	// from the allgathered offset lists.
-	normReq := make([][]pfs.Extent, len(data))
-	for r := range data {
-		normReq[r] = pfs.NormalizeExtents(data[r].Req.Extents)
-	}
-	type domSched struct {
-		contributors []int          // ranks with data in the domain, ascending
-		overlap      [][]pfs.Extent // indexed like contributors
-	}
-	scheds := make([]domSched, len(plan.Domains))
-	for i, d := range plan.Domains {
-		ranks := append([]int(nil), plan.GroupRanks[d.Group]...)
-		sort.Ints(ranks)
-		for _, r := range ranks {
-			ov := pfs.Intersect(normReq[r], d.Extents)
-			if len(ov) > 0 {
-				scheds[i].contributors = append(scheds[i].contributors, r)
-				scheds[i].overlap = append(scheds[i].overlap, ov)
-			}
-		}
-	}
+	normReq, scheds := buildScheds(plan, data)
 
 	world := mpi.NewWorld(ctx.Topo)
 	world.SetObserver(ctx.Obs)
@@ -177,6 +155,36 @@ func Exec(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op Op) erro
 			}
 		}
 	})
+}
+
+// domSched lists, for one domain, each contributing rank and the extents
+// of its request that fall inside the domain.
+type domSched struct {
+	contributors []int          // ranks with data in the domain, ascending
+	overlap      [][]pfs.Extent // indexed like contributors
+}
+
+// buildScheds precomputes, per domain, each contributing rank's overlap —
+// every rank derives the identical schedule, as real two-phase code does
+// from the allgathered offset lists.
+func buildScheds(plan *Plan, data []RankData) (normReq [][]pfs.Extent, scheds []domSched) {
+	normReq = make([][]pfs.Extent, len(data))
+	for r := range data {
+		normReq[r] = pfs.NormalizeExtents(data[r].Req.Extents)
+	}
+	scheds = make([]domSched, len(plan.Domains))
+	for i, d := range plan.Domains {
+		ranks := append([]int(nil), plan.GroupRanks[d.Group]...)
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			ov := pfs.Intersect(normReq[r], d.Extents)
+			if len(ov) > 0 {
+				scheds[i].contributors = append(scheds[i].contributors, r)
+				scheds[i].overlap = append(scheds[i].overlap, ov)
+			}
+		}
+	}
+	return normReq, scheds
 }
 
 // dataPos returns the data-space position of file offset off within the

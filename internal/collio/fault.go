@@ -72,6 +72,12 @@ type FaultResult struct {
 	StorageRetries  int
 	DroppedMessages int
 	DelayedMessages int
+	// CorruptedMessages counts MsgBitFlip events consumed: the chunk is
+	// detected by end-to-end verification and re-requested, so its bytes
+	// move twice plus a detection round-trip. TornWrites counts TornWrite
+	// events consumed: the read-back verify re-issues the torn access.
+	CorruptedMessages int
+	TornWrites        int
 	// RecoverySeconds is simulated time spent on failure handling
 	// (stalls + recovery rounds), a subset of Seconds.
 	RecoverySeconds float64
@@ -524,6 +530,15 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 					extraLat += spec.DropTimeoutSeconds
 					res.DroppedMessages++
 				}
+				if inj.TakeMsgFlip(m.SrcNode) {
+					// Silently corrupted: end-to-end verification detects
+					// the flip and re-requests the chunk, so the bytes move
+					// twice and the round absorbs the detect+resend
+					// round-trip (priced like a drop timeout).
+					round.Messages = append(round.Messages, m)
+					extraLat += spec.DropTimeoutSeconds
+					res.CorruptedMessages++
+				}
 				round.Messages = append(round.Messages, m)
 			}
 			idx := (s + it.rot) % it.rounds
@@ -539,11 +554,18 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 					delay += float64(acc.Bytes) / bw * (spec.DegradedFactor - 1)
 				}
 				res.StorageRetries += retries
+				torn := 0
+				if op == Write && inj.TakeTornWrite(acc.Target) {
+					// A torn object write is caught by the read-back verify
+					// and re-issued: one extra request on the target.
+					torn = 1
+					res.TornWrites++
+				}
 				round.IOOps = append(round.IOOps, sim.IOOp{
 					Target:       acc.Target,
 					Node:         d.AggNode,
 					Bytes:        acc.Bytes,
-					Requests:     acc.Requests + retries,
+					Requests:     acc.Requests + retries + torn,
 					Contiguous:   acc.Contiguous,
 					Write:        op == Write,
 					DelaySeconds: delay,
@@ -606,6 +628,8 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 		o.Counter("faults.storage_retries", base...).Add(int64(res.StorageRetries))
 		o.Counter("faults.dropped_messages", base...).Add(int64(res.DroppedMessages))
 		o.Counter("faults.delayed_messages", base...).Add(int64(res.DelayedMessages))
+		o.Counter("faults.corrupted_messages", base...).Add(int64(res.CorruptedMessages))
+		o.Counter("faults.torn_writes", base...).Add(int64(res.TornWrites))
 	}
 	return res, nil
 }

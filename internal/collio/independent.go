@@ -1,9 +1,61 @@
 package collio
 
 import (
+	"fmt"
+
+	"mcio/internal/integrity"
 	"mcio/internal/pfs"
 	"mcio/internal/sim"
 )
+
+// ExecIndependent really performs the requests as independent
+// (non-collective) I/O — the degradation ladder's last rung, used when no
+// aggregation plan can be placed. Each rank issues its own normalized
+// extents straight against the file, serially in ascending rank order so
+// overlapping writes resolve exactly as Exec's aggregators would (higher
+// ranks overwrite lower ones). chk, when enabled, read-verifies each
+// rank's write-back just like the collective path, so torn writes are
+// detected (and repaired) even with no aggregator in the loop; there is
+// no shuffle, so there are no messages to checksum.
+func ExecIndependent(ctx *Context, data []RankData, file *pfs.File, op Op, chk *integrity.Checker) error {
+	if err := ctx.Validate(); err != nil {
+		return err
+	}
+	if len(data) != ctx.Topo.Size() {
+		return fmt.Errorf("collio: ExecIndependent got %d rank buffers for %d ranks", len(data), ctx.Topo.Size())
+	}
+	for r, d := range data {
+		if d.Req.Rank != r {
+			return fmt.Errorf("collio: rank buffer %d labeled rank %d", r, d.Req.Rank)
+		}
+		if want := d.Req.Bytes(); int64(len(d.Buf)) != want {
+			return fmt.Errorf("collio: rank %d buffer is %d bytes, request needs %d", r, len(d.Buf), want)
+		}
+	}
+	for r := range data {
+		norm := pfs.NormalizeExtents(data[r].Req.Extents)
+		if len(norm) == 0 {
+			continue
+		}
+		var pos int64
+		for _, e := range norm {
+			if op == Write {
+				if _, err := file.WriteAt(data[r].Buf[pos:pos+e.Length], e.Offset); err != nil {
+					return fmt.Errorf("collio: independent write rank %d: %w", r, err)
+				}
+			} else {
+				if _, err := file.ReadAt(data[r].Buf[pos:pos+e.Length], e.Offset); err != nil {
+					return fmt.Errorf("collio: independent read rank %d: %w", r, err)
+				}
+			}
+			pos += e.Length
+		}
+		if op == Write && chk.Enabled() {
+			verifyWriteBack(file, norm, data[r].Buf, chk)
+		}
+	}
+	return nil
+}
 
 // CostIndependent prices the same requests issued as independent
 // (non-collective) I/O: every rank sends its own flattened extents

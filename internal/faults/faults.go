@@ -48,6 +48,16 @@ const (
 	// MsgDrop loses one message leaving a host (it must be resent after
 	// a timeout).
 	MsgDrop
+	// MsgBitFlip silently corrupts one shuffle message leaving a host:
+	// the bytes arrive, bit-flipped, and only end-to-end checksums can
+	// tell. New kinds append after the existing ones so per-(kind,
+	// entity) RNG streams — and therefore every previously pinned
+	// schedule — are unchanged.
+	MsgBitFlip
+	// TornWrite silently truncates one object write on a storage
+	// target: the request reports success but only a prefix of the
+	// bytes lands, as a power-fail mid-write would leave it.
+	TornWrite
 
 	numKinds int = iota
 )
@@ -69,6 +79,10 @@ func (k Kind) String() string {
 		return "msg-delay"
 	case MsgDrop:
 		return "msg-drop"
+	case MsgBitFlip:
+		return "msg-bitflip"
+	case TornWrite:
+		return "torn-write"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -115,6 +129,12 @@ type Spec struct {
 
 	MsgDropMTBF        float64
 	DropTimeoutSeconds float64 // detection + resend cost of one dropped message
+
+	// Silent-corruption kinds. Both default to 0 (off) so existing
+	// schedules and the fault-free hot path are unchanged; WithCorruption
+	// turns them on together.
+	MsgBitFlipMTBF float64 // per-node MTBF of one corrupted shuffle message
+	TornWriteMTBF  float64 // per-target MTBF of one torn object write
 
 	// Recovery pricing knobs consumed by the handlers, kept here so one
 	// Spec fully determines a faulted run.
@@ -175,6 +195,8 @@ func (s Spec) WithRate(rate float64) Spec {
 		s.OSTPermanentMTBF = 0
 		s.MsgDelayMTBF = 0
 		s.MsgDropMTBF = 0
+		s.MsgBitFlipMTBF = 0
+		s.TornWriteMTBF = 0
 		return s
 	}
 	s.NodeCrashMTBF /= rate
@@ -184,6 +206,23 @@ func (s Spec) WithRate(rate float64) Spec {
 	s.OSTPermanentMTBF /= rate
 	s.MsgDelayMTBF /= rate
 	s.MsgDropMTBF /= rate
+	s.MsgBitFlipMTBF /= rate
+	s.TornWriteMTBF /= rate
+	return s
+}
+
+// WithCorruption enables the silent-corruption kinds at the given rate
+// multiplier (1 ≈ a couple of corruption events per entity across the
+// horizon). Rate <= 0 leaves them off. DefaultSpec keeps both at 0 so
+// schedules pinned before corruption faults existed are unchanged.
+func (s Spec) WithCorruption(rate float64) Spec {
+	if rate <= 0 {
+		s.MsgBitFlipMTBF = 0
+		s.TornWriteMTBF = 0
+		return s
+	}
+	s.MsgBitFlipMTBF = 2 * s.Horizon / rate
+	s.TornWriteMTBF = 2 * s.Horizon / rate
 	return s
 }
 
@@ -203,6 +242,8 @@ func (s Spec) Validate() error {
 		{"OSTPermanentMTBF", s.OSTPermanentMTBF},
 		{"MsgDelayMTBF", s.MsgDelayMTBF},
 		{"MsgDropMTBF", s.MsgDropMTBF},
+		{"MsgBitFlipMTBF", s.MsgBitFlipMTBF},
+		{"TornWriteMTBF", s.TornWriteMTBF},
 	} {
 		if m.v < 0 || math.IsNaN(m.v) {
 			return fmt.Errorf("faults: %s %v must be >= 0", m.name, m.v)
@@ -282,6 +323,12 @@ func (s Spec) Generate(nodes, targets int) (*Plan, error) {
 	})
 	addNodeKind(MsgDrop, s.MsgDropMTBF, func(_ *stats.RNG, node int, t float64) Event {
 		return Event{Kind: MsgDrop, Time: t, Node: node, Target: -1, Severity: s.DropTimeoutSeconds}
+	})
+	addNodeKind(MsgBitFlip, s.MsgBitFlipMTBF, func(_ *stats.RNG, node int, t float64) Event {
+		return Event{Kind: MsgBitFlip, Time: t, Node: node, Target: -1}
+	})
+	addTargetKind(TornWrite, s.TornWriteMTBF, func(_ *stats.RNG, target int, t float64) Event {
+		return Event{Kind: TornWrite, Time: t, Node: -1, Target: target}
 	})
 	addTargetKind(OSTTransient, s.OSTTransientMTBF, func(_ *stats.RNG, target int, t float64) Event {
 		return Event{Kind: OSTTransient, Time: t, Node: -1, Target: target, Duration: s.OSTTransientDuration}

@@ -23,8 +23,15 @@ type Injector struct {
 	delayEnd     map[int]float64 // node -> msg-delay window end
 	delaySec     map[int]float64 // node -> seconds added per message
 	dropPending  map[int]int     // node -> undelivered drop events
+	flipPending  map[int]int     // node -> unconsumed bit-flip events
+	tornPending  map[int]int     // target -> unconsumed torn-write events
 	ostWindowEnd map[int]float64 // target -> transient-error window end
 	ostDegraded  map[int]bool    // target -> permanently degraded
+	// ostPermAt is the scheduled time of each target's earliest
+	// OSTPermanent event, precomputed so queries between round
+	// boundaries see the degradation at event time, not at the next
+	// Advance (retry ladders walk forward in time mid-round).
+	ostPermAt map[int]float64
 
 	counts    map[Kind]int
 	escalated int // transient windows that exhausted the retry budget
@@ -43,14 +50,25 @@ func NewInjector(plan *Plan) *Injector {
 		delayEnd:     map[int]float64{},
 		delaySec:     map[int]float64{},
 		dropPending:  map[int]int{},
+		flipPending:  map[int]int{},
+		tornPending:  map[int]int{},
 		ostWindowEnd: map[int]float64{},
 		ostDegraded:  map[int]bool{},
+		ostPermAt:    map[int]float64{},
 		counts:       map[Kind]int{},
 		injected:     map[Kind]*obs.Counter{},
 	}
 	if plan != nil {
 		in.spec = plan.Spec
 		in.events = plan.Events
+		for _, ev := range plan.Events {
+			if ev.Kind != OSTPermanent {
+				continue
+			}
+			if at, ok := in.ostPermAt[ev.Target]; !ok || ev.Time < at {
+				in.ostPermAt[ev.Target] = ev.Time
+			}
+		}
 	}
 	return in
 }
@@ -123,6 +141,10 @@ func (in *Injector) apply(ev Event) {
 		}
 	case MsgDrop:
 		in.dropPending[ev.Node]++
+	case MsgBitFlip:
+		in.flipPending[ev.Node]++
+	case TornWrite:
+		in.tornPending[ev.Target]++
 	case OSTTransient:
 		end := ev.Time + ev.Duration
 		if end > in.ostWindowEnd[ev.Target] {
@@ -186,6 +208,29 @@ func (in *Injector) TakeDrop(node int) bool {
 	return true
 }
 
+// TakeMsgFlip consumes one pending silent bit flip on node, reporting
+// whether a message leaving it arrives corrupted. Like TakeDrop, each
+// MsgBitFlip event corrupts exactly one message, in deterministic query
+// order.
+func (in *Injector) TakeMsgFlip(node int) bool {
+	if in == nil || in.flipPending[node] == 0 {
+		return false
+	}
+	in.flipPending[node]--
+	return true
+}
+
+// TakeTornWrite consumes one pending torn write on target, reporting
+// whether an object write there lands truncated. Each TornWrite event
+// tears exactly one access, in deterministic query order.
+func (in *Injector) TakeTornWrite(target int) bool {
+	if in == nil || in.tornPending[target] == 0 {
+		return false
+	}
+	in.tornPending[target]--
+	return true
+}
+
 // OSTPenalty prices one access to target at time now: the number of
 // retries the transient window costs, the total backoff seconds spent
 // on them (the exponential ladder RetryBackoff, 2×, 4×, … until the
@@ -195,6 +240,14 @@ func (in *Injector) TakeDrop(node int) bool {
 func (in *Injector) OSTPenalty(target int, now float64) (retries int, backoffSeconds float64, degraded bool) {
 	if in == nil {
 		return 0, 0, false
+	}
+	// An OSTPermanent event scheduled at or before the query time degrades
+	// the target immediately, even when the round boundary that will
+	// formally apply (and count) it hasn't been reached yet: accesses and
+	// retry ladders walk forward in time mid-round and must see the
+	// degradation deterministically at event time, not a boundary late.
+	if at, ok := in.ostPermAt[target]; ok && now >= at {
+		in.ostDegraded[target] = true
 	}
 	if end, ok := in.ostWindowEnd[target]; ok && now < end {
 		step := in.spec.RetryBackoff
@@ -209,6 +262,11 @@ func (in *Injector) OSTPenalty(target int, now float64) (retries int, backoffSec
 			backoffSeconds += step
 			step *= 2
 			retries++
+			// A ladder that backs off past the scheduled permanent failure
+			// finishes against a degraded target.
+			if at, ok := in.ostPermAt[target]; ok && now+backoffSeconds >= at {
+				in.ostDegraded[target] = true
+			}
 		}
 		if now+backoffSeconds < end && !in.ostDegraded[target] {
 			// Retry budget exhausted inside the window: the target is

@@ -11,6 +11,7 @@
 package pfs
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
@@ -237,7 +238,21 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		if err := f.fs.access(fsTarget, true); err != nil {
 			return pos, fmt.Errorf("pfs: WriteAt %s: %w", f.name, err)
 		}
-		copy(obj[objOff:objOff+int64(n)], p[pos:pos+n])
+		keep := n
+		if wc := f.fs.corr; wc != nil && wc.PendingTorn(fsTarget) {
+			// Tear the write only if dropping the tail actually changes the
+			// stored bytes — a tear nobody could ever observe is no
+			// corruption, and consuming the event for it would break the
+			// "every injected corruption is detectable" accounting.
+			half := n / 2
+			if !bytes.Equal(obj[objOff+int64(half):objOff+int64(n)], p[pos+half:pos+n]) &&
+				wc.TearWrite(fsTarget, cur) {
+				keep = half
+			}
+		}
+		copy(obj[objOff:objOff+int64(keep)], p[pos:pos+keep])
+		// Stats record the full request: the target acknowledged all n
+		// bytes, which is exactly what makes the tear silent.
 		f.fs.stats.RecordWrite(fsTarget, int64(n))
 		f.fs.observe(fsTarget, int64(n), true)
 		pos += n
