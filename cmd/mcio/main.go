@@ -23,12 +23,32 @@
 //	mcio observe fig7 -faults 2 -trace-out faulted.json
 //
 // The bench subcommand runs one experiment and writes its run ledger —
-// a stable versioned JSON record of bandwidth, wall time and per-phase
-// critical-path blame — and diff compares two ledgers, exiting non-zero
-// when the new one regresses beyond tolerance (the CI perf gate):
+// a stable versioned JSON record of bandwidth, wall time, per-phase
+// critical-path blame and host provenance (git commit, go version,
+// CPU counts, wall clock and allocator telemetry) — and diff compares
+// ledgers, exiting non-zero when the new one regresses beyond tolerance
+// (the CI perf gate). diff accepts directories and globs, comparing the
+// oldest record against the newest by timestamp; bench refuses to
+// overwrite an existing -out file unless -force is given, and -archive
+// appends the record to a history directory under an auto-sequenced
+// name:
 //
 //	mcio bench fig6 -out BENCH_fig6.json
+//	mcio bench chaos -archive baselines/history
 //	mcio diff baselines/BENCH_fig6.json BENCH_fig6.json -tol 0.05
+//	mcio diff baselines/history
+//
+// The trend subcommand is the gate pairwise diff cannot provide: it
+// loads a whole record history (mixed v1/v2 records) and classifies
+// every entry series as ok, an abrupt step (rolling-median changepoint)
+// or slow drift (least-squares slope accumulating past tolerance even
+// though each individual run stayed inside it), exiting non-zero on any
+// flag; report renders the same analysis as a self-contained HTML page
+// with inline SVG sparklines (no JS, no external assets, byte-identical
+// across reruns):
+//
+//	mcio trend baselines/history
+//	mcio report baselines/history -out report.html
 //
 // The chaos subcommand runs a seeded soak of randomized collective
 // operations with silent-corruption injection (message bit flips, torn
@@ -60,6 +80,7 @@ import (
 	"mcio/internal/mpi"
 	"mcio/internal/obs"
 	"mcio/internal/obs/analyze"
+	"mcio/internal/obs/history"
 	"mcio/internal/pfs"
 	"mcio/internal/twophase"
 )
@@ -167,6 +188,8 @@ func runBench(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 42, "seed for the availability variance and fault schedules")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent sweep cells; 1 = exact serial legacy path (ledgers are scheduling-invariant either way)")
 	outPath := fs.String("out", "", "write the run ledger JSON here (default: stdout)")
+	force := fs.Bool("force", false, "overwrite an existing -out ledger file")
+	archive := fs.String("archive", "", "append the record to this history directory under an auto-generated <seq>-<commit>-<exp>.json name")
 	name := "fig6"
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		name = args[0]
@@ -175,57 +198,149 @@ func runBench(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Refuse to clobber an existing ledger before spending minutes
+	// running the experiment.
+	if *outPath != "" && !*force {
+		if _, err := os.Stat(*outPath); err == nil {
+			return fmt.Errorf("refusing to overwrite existing ledger %s (use -force, or -archive to append to a history directory)", *outPath)
+		}
+	}
 	bench.SetParallelism(*parallel)
-	rec, err := bench.Ledger(name, *scale, *seed)
+	rec, err := bench.StampedLedger(name, *scale, *seed)
 	if err != nil {
 		return err
 	}
-	if *outPath == "" {
+	if *outPath == "" && *archive == "" {
 		return obs.WriteRunRecord(out, rec)
 	}
-	if err := obs.SaveRunRecord(*outPath, rec); err != nil {
-		return err
+	if *outPath != "" {
+		if err := obs.SaveRunRecord(*outPath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote ledger %s (%d entries)\n", *outPath, len(rec.Entries))
 	}
-	fmt.Fprintf(out, "wrote ledger %s (%d entries)\n", *outPath, len(rec.Entries))
+	if *archive != "" {
+		path, err := history.Append(*archive, rec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "archived ledger %s (%d entries)\n", path, len(rec.Entries))
+	}
 	return nil
 }
 
-// runDiff is the `mcio diff` subcommand: compare two run ledgers and
-// report regressions. Returns the process exit code — 0 clean, 1 when
-// the new ledger regresses beyond tolerance — plus any hard error.
+// runDiff is the `mcio diff` subcommand: compare run ledgers and report
+// regressions. Arguments are files, directories or globs; after
+// expansion the oldest and newest records by timestamp are compared
+// (two explicit files with no timestamps — v1 — keep their given
+// order), so `mcio diff baselines/history/` composes directly with the
+// archive layout. Returns the process exit code — 0 clean, 1 when the
+// new ledger regresses beyond tolerance — plus any hard error.
 func runDiff(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mcio diff [flags] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: mcio diff [flags] <old.json new.json | dir | globs...>")
 		fs.PrintDefaults()
 	}
 	tol := fs.Float64("tol", obs.DefaultDiffTol, "relative bandwidth-drop tolerance (0.05 = 5%)")
 	wallTol := fs.Float64("wall-tol", 0, "relative wall-time-rise tolerance (default: same as -tol)")
-	if err := fs.Parse(args); err != nil {
-		return 2, err
-	}
-	paths := fs.Args()
-	if len(paths) != 2 {
-		return 2, fmt.Errorf("diff wants exactly two ledger files, got %d", len(paths))
-	}
-	oldRec, err := obs.LoadRunRecord(paths[0])
+	paths, err := parseInterleaved(fs, args)
 	if err != nil {
 		return 2, err
 	}
-	newRec, err := obs.LoadRunRecord(paths[1])
+	if len(paths) == 0 {
+		return 2, fmt.Errorf("diff wants ledger files, directories or globs")
+	}
+	recs, err := history.LoadArgs(paths, os.Stderr)
 	if err != nil {
 		return 2, err
+	}
+	if len(recs) < 2 {
+		return 2, fmt.Errorf("diff needs at least two records, got %d", len(recs))
+	}
+	oldest, newest := recs[0], recs[len(recs)-1]
+	if len(recs) > 2 {
+		fmt.Fprintf(out, "diffing oldest vs newest of %d records: %s -> %s\n",
+			len(recs), oldest.Path, newest.Path)
 	}
 	wt := *wallTol
 	if wt == 0 {
 		wt = *tol
 	}
-	res := obs.DiffRunRecords(oldRec, newRec, obs.DiffOptions{BandwidthTol: *tol, WallTol: wt})
+	res := obs.DiffRunRecords(oldest.Rec, newest.Rec, obs.DiffOptions{BandwidthTol: *tol, WallTol: wt})
 	fmt.Fprint(out, res.Render())
 	if len(res.Regressions()) > 0 {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// runTrend is the `mcio trend` subcommand: load a record history and
+// classify every tracked series as ok, step or drift. Mirrors `mcio
+// diff`'s contract — renders the verdict table and returns exit code 1
+// when anything is flagged, 0 clean, 2 on hard errors.
+func runTrend(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("trend", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mcio trend [flags] <dir | globs | files...>")
+		fs.PrintDefaults()
+	}
+	tol := fs.Float64("tol", obs.DefaultDiffTol, "relative tolerance for both detectors (0.05 = 5%)")
+	window := fs.Int("window", 0, "rolling-median changepoint window (default 5)")
+	minRuns := fs.Int("min-runs", 0, "fewest records before the drift detector speaks (default 4)")
+	paths, err := parseInterleaved(fs, args)
+	if err != nil {
+		return 2, err
+	}
+	if len(paths) == 0 {
+		return 2, fmt.Errorf("trend wants a history directory, globs or record files")
+	}
+	recs, err := history.LoadArgs(paths, os.Stderr)
+	if err != nil {
+		return 2, err
+	}
+	res := history.Trend(recs, history.Options{Tol: *tol, Window: *window, MinRuns: *minRuns})
+	fmt.Fprint(out, res.Render())
+	if len(res.Flagged()) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runReport is the `mcio report` subcommand: render the perf history as
+// a self-contained HTML page (inline SVG sparklines, no JS, no external
+// assets) — deterministic, so the same history always produces the
+// same bytes.
+func runReport(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mcio report [flags] <dir | globs | files...> -out report.html")
+		fs.PrintDefaults()
+	}
+	outPath := fs.String("out", "report.html", "write the HTML report here")
+	tol := fs.Float64("tol", obs.DefaultDiffTol, "relative tolerance for both detectors (0.05 = 5%)")
+	window := fs.Int("window", 0, "rolling-median changepoint window (default 5)")
+	minRuns := fs.Int("min-runs", 0, "fewest records before the drift detector speaks (default 4)")
+	paths, err := parseInterleaved(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("report wants a history directory, globs or record files")
+	}
+	recs, err := history.LoadArgs(paths, os.Stderr)
+	if err != nil {
+		return err
+	}
+	res := history.Trend(recs, history.Options{Tol: *tol, Window: *window, MinRuns: *minRuns})
+	if err := writeFile(*outPath, func(f *os.File) error {
+		return history.WriteReport(f, res)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote report %s (%d records, %d series, %d flagged)\n",
+		*outPath, len(res.Records), len(res.Verdicts), len(res.Flagged()))
+	return nil
 }
 
 // runChaos is the `mcio chaos` subcommand: a seeded chaos soak through
@@ -270,6 +385,26 @@ func runChaos(args []string, out io.Writer) (int, error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// parseInterleaved parses fs over args accepting flags and positional
+// arguments in any order — the stdlib parser stops at the first
+// positional, which would reject the documented
+// `mcio report <dir> -out report.html` form. Returns the positionals
+// in order.
+func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			return pos, nil
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
 }
 
 // writeFile creates path, runs write on it, and reports the first error.
@@ -325,6 +460,18 @@ func main() {
 				fmt.Fprintln(os.Stderr, "mcio diff:", err)
 			}
 			os.Exit(code)
+		case "trend":
+			code, err := runTrend(os.Args[2:], os.Stdout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcio trend:", err)
+			}
+			os.Exit(code)
+		case "report":
+			if err := runReport(os.Args[2:], os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "mcio report:", err)
+				os.Exit(1)
+			}
+			return
 		case "chaos":
 			code, err := runChaos(os.Args[2:], os.Stdout)
 			if err != nil {

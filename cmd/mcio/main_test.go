@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -109,6 +110,196 @@ func TestRunDiffErrors(t *testing.T) {
 	}
 	if code, err := runDiff([]string{"nope-a.json", "nope-b.json"}, &out); code != 2 || err == nil {
 		t.Fatalf("missing-file diff: code %d err %v, want 2 and error", code, err)
+	}
+}
+
+// driftArchive writes a synthetic 10-record history in which every
+// entry's bandwidth decays 1% per run — each adjacent step inside the
+// 5% pairwise tolerance, the accumulated fall far beyond it.
+func driftArchive(t *testing.T, dir string) []string {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	bw := 1000.0
+	for i := 0; i < 10; i++ {
+		rec := &obs.RunRecord{
+			Name:      "fig6",
+			UnixNanos: int64(i+1) * 1_000_000_000,
+			Entries: []obs.RunEntry{
+				{Name: "memory-conscious/write/mem=16", BandwidthMBps: bw, WallSeconds: 1e6 / bw},
+				{Name: "control/steady", BandwidthMBps: 500, WallSeconds: 2},
+			},
+		}
+		p := filepath.Join(dir, fmt.Sprintf("%05d-test-fig6.json", i+1))
+		if err := obs.SaveRunRecord(p, rec); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+		bw *= 0.99
+	}
+	return paths
+}
+
+// TestTrendCatchesDriftPairwiseDiffMisses is the tentpole acceptance
+// demo at the CLI level: on a 10-record series with an injected
+// 1%-per-run bandwidth drift, `mcio diff` between every adjacent pair
+// exits zero at the default tolerance, while `mcio trend` over the same
+// directory exits non-zero and names the drifting entries.
+func TestTrendCatchesDriftPairwiseDiffMisses(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "history")
+	paths := driftArchive(t, dir)
+
+	for i := 1; i < len(paths); i++ {
+		var out bytes.Buffer
+		code, err := runDiff([]string{paths[i-1], paths[i]}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != 0 {
+			t.Fatalf("adjacent diff %d exited %d; the 1%% step must pass the 5%% pairwise gate:\n%s",
+				i, code, out.String())
+		}
+	}
+
+	var out bytes.Buffer
+	code, err := runTrend([]string{dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("trend over drifting history exited %d, want 1:\n%s", code, out.String())
+	}
+	for _, must := range []string{"DRIFT", "memory-conscious/write/mem=16"} {
+		if !strings.Contains(out.String(), must) {
+			t.Errorf("trend output does not name the drift (%q missing):\n%s", must, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "control/steady      ") && strings.Contains(out.String(), "DRIFT: control") {
+		t.Errorf("steady control entry flagged:\n%s", out.String())
+	}
+
+	// The clean prefix of the same history (first 4 records, 3% total
+	// drift) stays under tolerance: exit 0.
+	out.Reset()
+	code, err = runTrend(paths[:4], &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("trend over the sub-tolerance prefix exited %d, want 0:\n%s", code, out.String())
+	}
+}
+
+// TestRunDiffDirectoryNewestVsOldest: diff over a directory compares
+// the oldest record with the newest by timestamp, not by file name.
+func TestRunDiffDirectoryNewestVsOldest(t *testing.T) {
+	dir := t.TempDir()
+	// File names deliberately out of time order.
+	mk := func(file string, nanos int64, bw float64) {
+		rec := &obs.RunRecord{Name: "fig6", UnixNanos: nanos,
+			Entries: []obs.RunEntry{{Name: "e", BandwidthMBps: bw}}}
+		if err := obs.SaveRunRecord(filepath.Join(dir, file), rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("b-newest.json", 300, 2000) // newest: bandwidth doubled — an improvement
+	mk("a-middle.json", 200, 500)  // a middle dip that must not be compared
+	mk("c-oldest.json", 100, 1000)
+	var out bytes.Buffer
+	code, err := runDiff([]string{dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("oldest->newest is an improvement, exit %d want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "c-oldest.json -> ") || !strings.Contains(out.String(), "b-newest.json") {
+		t.Errorf("diff did not pick oldest vs newest by timestamp:\n%s", out.String())
+	}
+}
+
+func TestRunBenchRefusesOverwriteWithoutForce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,"name":"old","entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := runBench([]string{"fig7", "-scale", strconv.Itoa(testScale), "-out", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-force") {
+		t.Fatalf("bench overwrote an existing ledger without -force (err=%v)", err)
+	}
+	if b, _ := os.ReadFile(path); !strings.Contains(string(b), `"old"`) {
+		t.Fatal("existing ledger was clobbered by the refused run")
+	}
+	out.Reset()
+	if err := runBench([]string{"fig7", "-scale", strconv.Itoa(testScale), "-out", path, "-force"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := obs.LoadRunRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "fig7" || rec.Version != obs.RunRecordVersion || rec.UnixNanos == 0 || rec.Host == nil {
+		t.Fatalf("forced ledger missing v2 provenance: %+v", rec)
+	}
+}
+
+// TestBenchArchiveChaosFlowsThroughTrendAndReport covers the archive
+// satellite and the chaos acceptance criterion end to end: two chaos
+// bench runs archived under sequenced names load back, pass the trend
+// gate (identical seeds — steady metrics), and render to a
+// byte-identical report across reruns.
+func TestBenchArchiveChaosFlowsThroughTrendAndReport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "history")
+	var out bytes.Buffer
+	for i := 0; i < 2; i++ {
+		out.Reset()
+		if err := runBench([]string{"chaos", "-seed", "1", "-archive", dir}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "archived ledger") {
+			t.Fatalf("bench -archive output missing confirmation: %s", out.String())
+		}
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "0000*-*-chaos.json"))
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("archive names wrong: %v, %v", entries, err)
+	}
+
+	out.Reset()
+	code, err := runTrend([]string{dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("identical chaos records flagged by trend:\n%s", out.String())
+	}
+	for _, must := range []string{"chaos/detection", "chaos/repair", "chaos/degradation", "detected"} {
+		if !strings.Contains(out.String(), must) {
+			t.Errorf("trend table missing chaos series %q:\n%s", must, out.String())
+		}
+	}
+
+	render := func(name string) []byte {
+		p := filepath.Join(t.TempDir(), name)
+		var rout bytes.Buffer
+		if err := runReport([]string{"-out", p, dir}, &rout); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := render("a.html")
+	if !bytes.Equal(first, render("b.html")) {
+		t.Fatal("report bytes differ across reruns on the same history")
+	}
+	if !bytes.Contains(first, []byte("chaos/detection")) || !bytes.Contains(first, []byte("<svg")) {
+		t.Error("report missing chaos sparklines")
 	}
 }
 

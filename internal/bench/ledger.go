@@ -2,8 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"mcio/internal/collio"
 	"mcio/internal/obs"
@@ -12,7 +14,12 @@ import (
 
 // LedgerExperiments lists every experiment Ledger can run, in display
 // order — the single source of truth for the CLI's usage text.
-var LedgerExperiments = []string{"fig6", "fig7", "fig8", "trajectory", "faults"}
+var LedgerExperiments = []string{"fig6", "fig7", "fig8", "trajectory", "faults", "chaos"}
+
+// chaosLedgerOps is the campaign length of the chaos ledger run: long
+// enough that detection/repair/degradation counts are meaningful, short
+// enough for the CI gate.
+const chaosLedgerOps = 50
 
 // Ledger runs one experiment and returns its run ledger — the stable
 // obs.RunRecord that `mcio bench -out` writes and `mcio diff` compares.
@@ -78,10 +85,75 @@ func Ledger(name string, scale int64, seed uint64) (*obs.RunRecord, error) {
 			e.Metrics["recovery_seconds"] = pt.Res.RecoverySeconds
 			rec.Entries = append(rec.Entries, e)
 		}
+	case "chaos":
+		rep, err := Chaos(ChaosConfig{Seed: seed, Ops: chaosLedgerOps, Rate: 2, Repair: true})
+		if err != nil {
+			return nil, err
+		}
+		rec.Params["ops"] = strconv.Itoa(chaosLedgerOps)
+		rec.Params["rate"] = "2"
+		rec.Params["repair"] = "true"
+		rec.Entries = append(rec.Entries, chaosEntries(rep)...)
 	default:
 		return nil, fmt.Errorf("bench: Ledger knows %s; not %q", strings.Join(LedgerExperiments, ", "), name)
 	}
 	return rec, nil
+}
+
+// StampedLedger is Ledger plus provenance: it times the run on the
+// host clock, captures allocator telemetry around it via
+// runtime.ReadMemStats, and stamps the record with the host metadata
+// the perf-history archive keys on. Ledger itself stays a pure function
+// of (name, scale, seed) — the parallel byte-identity tests rely on
+// that — so everything nondeterministic lives here.
+func StampedLedger(name string, scale int64, seed uint64) (*obs.RunRecord, error) {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rec, err := Ledger(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	rec.UnixNanos = start.UnixNano()
+	rec.Host = obs.CaptureHost()
+	rec.Telemetry = &obs.Telemetry{
+		HostWallSeconds: time.Since(start).Seconds(),
+		TotalAllocBytes: after.TotalAlloc - before.TotalAlloc,
+		PeakHeapBytes:   after.HeapSys,
+	}
+	return rec, nil
+}
+
+// chaosEntries converts a chaos-campaign report into metrics-only
+// ledger entries — detection counts, repair byte totals and the
+// degradation-ladder rung counts — so resilience behaviour sits under
+// the same trend-over-history gate as the bandwidth sweeps. The trend
+// analyzer treats metrics-only entries as "steady": any sustained move
+// in either direction is a behavioural shift worth flagging.
+func chaosEntries(rep *ChaosReport) []obs.RunEntry {
+	return []obs.RunEntry{
+		{Name: "chaos/detection", Metrics: map[string]float64{
+			"injected_flips": float64(rep.InjectedFlips),
+			"injected_torn":  float64(rep.InjectedTorn),
+			"detected":       float64(rep.Detected),
+			"undetected":     float64(rep.Undetected()),
+		}},
+		{Name: "chaos/repair", Metrics: map[string]float64{
+			"repaired":        float64(rep.Repaired),
+			"unrepaired":      float64(rep.Unrepaired),
+			"rewritten_bytes": float64(rep.RewrittenBytes),
+			"sums_stamped":    float64(rep.SumsStamped),
+			"sums_verified":   float64(rep.SumsVerified),
+		}},
+		{Name: "chaos/degradation", Metrics: map[string]float64{
+			"collective_ops":  float64(rep.CollectiveOps),
+			"shrunk_ops":      float64(rep.ShrunkOps),
+			"independent_ops": float64(rep.IndependentOps),
+			"violations":      float64(len(rep.Violations)),
+		}},
+	}
 }
 
 // sweepEntry converts one figure sweep point into a ledger entry.

@@ -75,6 +75,75 @@ func TestLedgerTrajectoryAndFaults(t *testing.T) {
 	}
 }
 
+// TestLedgerChaos: the chaos soak emits a loadable RunRecord whose
+// metrics-only entries (detection counts, repair bytes, degradation
+// rungs) flow through the trend analyzer unchanged.
+func TestLedgerChaos(t *testing.T) {
+	rec, err := Ledger("chaos", testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "chaos" || rec.Params["ops"] != "50" || rec.Params["repair"] != "true" {
+		t.Fatalf("chaos ledger header wrong: %+v", rec)
+	}
+	want := map[string][]string{
+		"chaos/detection":   {"injected_flips", "injected_torn", "detected", "undetected"},
+		"chaos/repair":      {"repaired", "unrepaired", "rewritten_bytes", "sums_stamped", "sums_verified"},
+		"chaos/degradation": {"collective_ops", "shrunk_ops", "independent_ops", "violations"},
+	}
+	if len(rec.Entries) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(rec.Entries), len(want))
+	}
+	for _, e := range rec.Entries {
+		keys, ok := want[e.Name]
+		if !ok {
+			t.Fatalf("unexpected entry %q", e.Name)
+		}
+		if e.BandwidthMBps != 0 || e.WallSeconds != 0 {
+			t.Errorf("chaos entry %s has phantom headline numbers", e.Name)
+		}
+		for _, k := range keys {
+			if _, ok := e.Metrics[k]; !ok {
+				t.Errorf("entry %s missing metric %q", e.Name, k)
+			}
+		}
+	}
+	// The seed-1 campaign detects every injection and repairs cleanly.
+	for _, e := range rec.Entries {
+		if e.Name == "chaos/detection" {
+			if e.Metrics["detected"] <= 0 || e.Metrics["undetected"] != 0 {
+				t.Errorf("detection metrics off: %+v", e.Metrics)
+			}
+		}
+	}
+	// Deterministic: same seed, same record.
+	again, err := Ledger("chaos", testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := obs.DiffRunRecords(rec, again, obs.DiffOptions{})
+	if n := len(res.Regressions()); n != 0 {
+		t.Fatalf("chaos ledger not deterministic: %d regressions", n)
+	}
+}
+
+func TestStampedLedgerProvenance(t *testing.T) {
+	rec, err := StampedLedger("fig7", testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.UnixNanos == 0 {
+		t.Error("stamped ledger missing timestamp")
+	}
+	if rec.Host == nil || rec.Host.GoVersion == "" || rec.Host.NumCPU <= 0 {
+		t.Errorf("stamped ledger missing host info: %+v", rec.Host)
+	}
+	if rec.Telemetry == nil || rec.Telemetry.HostWallSeconds <= 0 ||
+		rec.Telemetry.TotalAllocBytes == 0 || rec.Telemetry.PeakHeapBytes == 0 {
+		t.Errorf("stamped ledger missing telemetry: %+v", rec.Telemetry)
+	}
+}
+
 func TestLedgerUnknownExperiment(t *testing.T) {
 	if _, err := Ledger("fig99", testScale, 1); err == nil {
 		t.Fatal("expected error for unknown experiment")

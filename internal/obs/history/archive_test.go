@@ -1,0 +1,165 @@
+package history
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcio/internal/obs"
+)
+
+func rec(name string, nanos int64, entries ...obs.RunEntry) *obs.RunRecord {
+	return &obs.RunRecord{Name: name, UnixNanos: nanos, Entries: entries}
+}
+
+func bwEntry(name string, bw float64) obs.RunEntry {
+	return obs.RunEntry{Name: name, BandwidthMBps: bw, WallSeconds: 1000 / bw}
+}
+
+func TestAppendSequencesAndRefusesCollision(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "history")
+	r := rec("fig6", 100, bwEntry("a", 1000))
+	r.Host = &obs.HostInfo{GitCommit: "abc123def456"}
+	p1, err := Append(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base := filepath.Base(p1); base != "00001-abc123def456-fig6.json" {
+		t.Fatalf("first archive name = %s", base)
+	}
+	p2, err := Append(dir, rec("fig6", 200, bwEntry("a", 1001)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base := filepath.Base(p2); base != "00002-local-fig6.json" {
+		t.Fatalf("second archive name = %s (commit-less record should stamp 'local')", base)
+	}
+	// Sequencing survives junk in the directory and gaps in the series:
+	// the next append always lands above the highest existing number.
+	for _, junk := range []string{"notes.txt", "x-local-fig6.json"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(p1); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := Append(dir, rec("fig6", 300, bwEntry("a", 1002)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base := filepath.Base(p3); base != "00003-local-fig6.json" {
+		t.Fatalf("third archive name = %s (gap must not recycle seq 1)", base)
+	}
+}
+
+func TestExpandDirGlobAndLiteral(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"00002-x-fig6.json", "00001-x-fig6.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := Expand([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || filepath.Base(paths[0]) != "00001-x-fig6.json" {
+		t.Fatalf("dir expansion wrong: %v", paths)
+	}
+	paths, err = Expand([]string{filepath.Join(dir, "*-fig6.json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("glob expansion wrong: %v", paths)
+	}
+	paths, err = Expand([]string{paths[0], paths[1]})
+	if err != nil || len(paths) != 2 {
+		t.Fatalf("literal expansion wrong: %v, %v", paths, err)
+	}
+	if _, err := Expand([]string{filepath.Join(dir, "absent-*.json")}); err == nil {
+		t.Fatal("expected error for a pattern matching nothing")
+	}
+	if _, err := Expand([]string{filepath.Join(dir, "empty")}); err == nil {
+		t.Fatal("expected error for a missing path")
+	}
+}
+
+func TestLoadMixedVersionsSortsByTimestamp(t *testing.T) {
+	dir := t.TempDir()
+	// A v1 record (no timestamp) written first, then two v2 records out
+	// of lexicographic order by time.
+	v1 := `{"version":1,"name":"fig6","entries":[{"name":"a","bandwidth_mbps":990}]}`
+	if err := os.WriteFile(filepath.Join(dir, "00001-x-fig6.json"), []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*obs.RunRecord{
+		rec("fig6", 300, bwEntry("a", 1010)),
+		rec("fig6", 200, bwEntry("a", 1000)),
+	} {
+		if _, err := Append(dir, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := LoadArgs([]string{dir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("loaded %d records, want 3", len(recs))
+	}
+	// v1 (time 0) first, then 200, then 300 — not file order.
+	if recs[0].Time() != 0 || recs[1].Time() != 200 || recs[2].Time() != 300 {
+		t.Fatalf("records out of time order: %d %d %d", recs[0].Time(), recs[1].Time(), recs[2].Time())
+	}
+	if recs[0].Rec.Version != 1 || recs[2].Rec.Version != obs.RunRecordVersion {
+		t.Fatalf("mixed versions mangled: v%d, v%d", recs[0].Rec.Version, recs[2].Rec.Version)
+	}
+}
+
+func TestLoadSkipsCorruptWithWarning(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Append(dir, rec("fig6", 100, bwEntry("a", 1000))); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "00002-x-fig6.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 2, "name": truncated`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Append(dir, rec("fig6", 300, bwEntry("a", 1001))); err != nil {
+		t.Fatal(err)
+	}
+	var warn bytes.Buffer
+	recs, err := LoadArgs([]string{dir}, &warn)
+	if err != nil {
+		t.Fatalf("corrupt record aborted the load: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d records, want 2 (corrupt one skipped)", len(recs))
+	}
+	if !strings.Contains(warn.String(), filepath.Base(bad)) {
+		t.Errorf("warning does not name the skipped file: %q", warn.String())
+	}
+}
+
+func TestLoadRejectsNewerVersionNamingFile(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Append(dir, rec("fig6", 100, bwEntry("a", 1000))); err != nil {
+		t.Fatal(err)
+	}
+	tooNew := filepath.Join(dir, "00009-x-fig6.json")
+	if err := os.WriteFile(tooNew, []byte(`{"version": 99, "name": "fig6", "entries": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warn bytes.Buffer
+	_, err := LoadArgs([]string{dir}, &warn)
+	if err == nil {
+		t.Fatal("a newer-than-supported record must abort the load, not be skipped")
+	}
+	if !strings.Contains(err.Error(), filepath.Base(tooNew)) {
+		t.Errorf("error does not name the offending file: %v", err)
+	}
+}

@@ -2,28 +2,95 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 )
 
 // RunRecordVersion is the schema version stamped into every ledger
 // file. Bump it only for incompatible changes; readers reject files
-// with a newer major version than they understand.
-const RunRecordVersion = 1
+// with a newer major version than they understand. Version 2 added the
+// record timestamp, host metadata and host-side resource telemetry;
+// version-1 records load unchanged (the new fields read as absent).
+const RunRecordVersion = 2
+
+// ErrNewerVersion marks a ledger whose version is newer than this
+// binary supports. Callers that stream over many records (the history
+// loader) test for it with errors.Is to abort rather than skip: a
+// too-new record is an operator error, not a corrupt file.
+var ErrNewerVersion = errors.New("run record version newer than supported")
 
 // RunRecord is the stable on-disk record of one benchmark run — the
 // "run ledger". It is what `mcio bench -out` writes and `mcio diff`
 // compares, so its JSON shape is a compatibility surface: fields may be
 // added, but existing names and meanings must not change.
 type RunRecord struct {
-	Version int               `json:"version"`
-	Name    string            `json:"name"`             // experiment name (fig6, trajectory, ...)
-	Params  map[string]string `json:"params,omitempty"` // scale, seed, op, ... as strings
-	Entries []RunEntry        `json:"entries"`
+	Version int    `json:"version"`
+	Name    string `json:"name"` // experiment name (fig6, trajectory, ...)
+	// UnixNanos is when the run started, as nanoseconds since the Unix
+	// epoch (v2). Zero on v1 records; the history loader and `mcio diff`
+	// order records by it, falling back to file order on ties.
+	UnixNanos int64             `json:"unix_nanos,omitempty"`
+	Host      *HostInfo         `json:"host,omitempty"`      // v2: provenance of the producing host
+	Telemetry *Telemetry        `json:"telemetry,omitempty"` // v2: host-side resource usage around the run
+	Params    map[string]string `json:"params,omitempty"`    // scale, seed, op, ... as strings
+	Entries   []RunEntry        `json:"entries"`
+}
+
+// HostInfo is the provenance stamp of the machine and build that
+// produced a record — enough to explain why two records of the same
+// experiment might lawfully differ.
+type HostInfo struct {
+	GitCommit  string `json:"git_commit,omitempty"` // short revision, or "local" when unknown
+	GoVersion  string `json:"go_version,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	NumCPU     int    `json:"num_cpu,omitempty"`
+}
+
+// Telemetry is host-side resource usage captured around one experiment
+// via runtime.ReadMemStats — real wall clock and allocator pressure, as
+// opposed to the simulated wall time inside the entries.
+type Telemetry struct {
+	HostWallSeconds float64 `json:"host_wall_seconds,omitempty"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes,omitempty"` // heap bytes allocated during the run
+	PeakHeapBytes   uint64  `json:"peak_heap_bytes,omitempty"`   // heap footprint high-water (HeapSys)
+}
+
+// CaptureHost stamps the current process's provenance: git commit
+// (from build info when the binary was stamped, else the git CLI, else
+// "local"), Go version, GOMAXPROCS and CPU count.
+func CaptureHost() *HostInfo {
+	return &HostInfo{
+		GitCommit:  gitCommit(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// gitCommit finds the short revision: embedded VCS build info first
+// (set for `go build` in a checkout), then `git rev-parse` (covers
+// `go run`), else "local".
+func gitCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return s.Value[:12]
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if rev := strings.TrimSpace(string(out)); err == nil && rev != "" {
+		return rev
+	}
+	return "local"
 }
 
 // RunEntry is one measured configuration within a run (one sweep point:
@@ -63,20 +130,30 @@ func SaveRunRecord(path string, r *RunRecord) error {
 	return f.Close()
 }
 
+// ParseRunRecord decodes a ledger from bytes, rejecting versions newer
+// than this binary supports (test with errors.Is(err, ErrNewerVersion)).
+func ParseRunRecord(b []byte) (*RunRecord, error) {
+	var r RunRecord
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	if r.Version > RunRecordVersion {
+		return nil, fmt.Errorf("%w: %d > %d", ErrNewerVersion, r.Version, RunRecordVersion)
+	}
+	return &r, nil
+}
+
 // LoadRunRecord reads a ledger file, rejecting unknown versions.
 func LoadRunRecord(path string) (*RunRecord, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var r RunRecord
-	if err := json.Unmarshal(b, &r); err != nil {
+	r, err := ParseRunRecord(b)
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if r.Version > RunRecordVersion {
-		return nil, fmt.Errorf("%s: run record version %d is newer than supported %d", path, r.Version, RunRecordVersion)
-	}
-	return &r, nil
+	return r, nil
 }
 
 // DiffOptions sets the relative thresholds above which a change counts

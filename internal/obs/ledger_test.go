@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,8 +47,60 @@ func TestLoadRunRecordRejectsNewerVersion(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"version": 999, "name": "x", "entries": []}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadRunRecord(path); err == nil {
+	_, err := LoadRunRecord(path)
+	if err == nil {
 		t.Fatal("expected version error")
+	}
+	if !errors.Is(err, ErrNewerVersion) {
+		t.Errorf("version error not tagged ErrNewerVersion: %v", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("version error does not name the file: %v", err)
+	}
+}
+
+func TestLoadRunRecordV1BackwardCompatible(t *testing.T) {
+	// A v1 record (no timestamp, host or telemetry) must load cleanly
+	// with the new fields absent.
+	path := filepath.Join(t.TempDir(), "v1.json")
+	v1 := `{"version": 1, "name": "fig6", "params": {"seed": "1"},
+	        "entries": [{"name": "a", "bandwidth_mbps": 100, "wall_seconds": 2}]}`
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadRunRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version != 1 || r.UnixNanos != 0 || r.Host != nil || r.Telemetry != nil {
+		t.Fatalf("v1 record gained phantom v2 fields: %+v", r)
+	}
+	if r.Entries[0].BandwidthMBps != 100 {
+		t.Fatalf("v1 entries mangled: %+v", r.Entries)
+	}
+}
+
+func TestRunRecordV2RoundTripKeepsProvenance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2.json")
+	rec := ledgerFixture()
+	rec.UnixNanos = 1754524800000000000
+	rec.Host = CaptureHost()
+	rec.Telemetry = &Telemetry{HostWallSeconds: 1.5, TotalAllocBytes: 4096, PeakHeapBytes: 1 << 20}
+	if err := SaveRunRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRunRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != RunRecordVersion || got.UnixNanos != rec.UnixNanos {
+		t.Fatalf("v2 header lost: %+v", got)
+	}
+	if got.Host == nil || got.Host.GoVersion == "" || got.Host.GOMAXPROCS <= 0 || got.Host.NumCPU <= 0 || got.Host.GitCommit == "" {
+		t.Fatalf("host stamp incomplete: %+v", got.Host)
+	}
+	if got.Telemetry == nil || got.Telemetry.TotalAllocBytes != 4096 || got.Telemetry.PeakHeapBytes != 1<<20 {
+		t.Fatalf("telemetry lost: %+v", got.Telemetry)
 	}
 }
 
