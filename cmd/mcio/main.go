@@ -50,14 +50,20 @@
 //	mcio trend baselines/history
 //	mcio report baselines/history -out report.html
 //
-// The chaos subcommand runs a seeded soak of randomized collective
-// operations with silent-corruption injection (message bit flips, torn
-// OST writes) through the end-to-end integrity layer, checking the
-// invariant battery after every operation and exiting non-zero on any
-// violation or undetected corruption:
+// The chaos subcommand runs a seeded campaign of randomized collective
+// operations, checking an invariant battery after every operation and
+// exiting non-zero on any violation or undetected corruption. The
+// default corruption soak injects silent corruption (message bit flips,
+// torn OST writes) through the end-to-end integrity layer; the gray
+// campaign adds gray failures (degrading OSTs, flaky NICs, memory
+// leaks) and checks the adaptive policy — suspicion, proactive
+// failover, circuit breakers, hedged requests — against the static
+// baseline, ending with a pinned duel the adaptive plan must win:
 //
 //	mcio chaos -seed 1 -ops 50
 //	mcio chaos -seed 7 -ops 200 -rate 4 -repair=false
+//	mcio chaos gray -seed 1 -ops 10
+//	mcio chaos -gray -seed 1 -ops 10
 //
 // -scale divides every byte quantity (1 = paper-exact sizes, slower);
 // -seed drives the availability variance and every fault schedule —
@@ -343,31 +349,68 @@ func runReport(args []string, out io.Writer) error {
 	return nil
 }
 
-// runChaos is the `mcio chaos` subcommand: a seeded chaos soak through
-// the integrity layer. Returns the process exit code — 0 when every
-// invariant held and nothing went undetected, 1 otherwise.
+// runChaos is the `mcio chaos` subcommand: a seeded chaos campaign
+// through the integrity layer — the silent-corruption soak by default,
+// the gray-failure campaign with `gray` (or -gray). Campaign names come
+// from bench.ChaosCampaigns, the same single-source pattern bench and
+// observe use, so new campaigns appear in the usage and error text
+// automatically. Returns the process exit code — 0 when every invariant
+// held and nothing went undetected, 1 otherwise.
 func runChaos(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mcio chaos [flags]")
+		fmt.Fprintf(os.Stderr, "usage: mcio chaos [%s] [flags]\n", strings.Join(bench.ChaosCampaigns, "|"))
 		fs.PrintDefaults()
 	}
-	seed := fs.Uint64("seed", 1, "campaign seed; the same seed reproduces the soak byte for byte")
+	seed := fs.Uint64("seed", 1, "campaign seed; the same seed reproduces the campaign byte for byte")
 	ops := fs.Int("ops", 50, "randomized collective operations to run")
-	rate := fs.Float64("rate", 2, "silent-corruption rate multiplier (0 disables injection)")
+	rate := fs.Float64("rate", 2, "fault-rate multiplier: silent corruption in the soak, gray faults + corruption in -gray (0 disables injection)")
 	repair := fs.Bool("repair", true, "repair detected corruptions (false proves detection of every injection instead)")
+	gray := fs.Bool("gray", false, "run the gray-failure campaign (suspicion, adaptive failover, hedging); same as the `gray` campaign argument")
 	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot here (.csv selects CSV, .prom the Prometheus text format, otherwise JSON)")
+	campaign := bench.ChaosCampaigns[0]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		campaign = args[0]
+		args = args[1:]
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
+	if *gray {
+		campaign = "gray"
+	}
 	o := obs.New()
-	rep, err := bench.Chaos(bench.ChaosConfig{
-		Seed: *seed, Ops: *ops, Rate: *rate, Repair: *repair, Obs: o,
-	})
+	var (
+		summary    string
+		violations int
+		undetected int
+		err        error
+	)
+	switch campaign {
+	case "corruption":
+		var rep *bench.ChaosReport
+		rep, err = bench.Chaos(bench.ChaosConfig{
+			Seed: *seed, Ops: *ops, Rate: *rate, Repair: *repair, Obs: o,
+		})
+		if err == nil {
+			summary, violations, undetected = rep.String(), len(rep.Violations), rep.Undetected()
+		}
+	case "gray":
+		var rep *bench.GrayReport
+		rep, err = bench.Gray(bench.GrayConfig{
+			Seed: *seed, Ops: *ops, Rate: *rate, Repair: *repair, Obs: o,
+		})
+		if err == nil {
+			summary, violations, undetected = rep.String(), len(rep.Violations), rep.Undetected()
+		}
+	default:
+		return 2, fmt.Errorf("unknown chaos campaign %q (valid: %s)",
+			campaign, strings.Join(bench.ChaosCampaigns, ", "))
+	}
 	if err != nil {
 		return 2, err
 	}
-	fmt.Fprint(out, rep.String())
+	fmt.Fprint(out, summary)
 	if *metricsOut != "" {
 		write := func(f *os.File) error { return obs.WriteMetricsJSON(f, o.Metrics) }
 		switch {
@@ -381,7 +424,7 @@ func runChaos(args []string, out io.Writer) (int, error) {
 		}
 		fmt.Fprintf(out, "wrote metrics %s\n", *metricsOut)
 	}
-	if len(rep.Violations) > 0 || rep.Undetected() > 0 {
+	if violations > 0 || undetected > 0 {
 		return 1, nil
 	}
 	return 0, nil

@@ -14,12 +14,17 @@ import (
 
 // LedgerExperiments lists every experiment Ledger can run, in display
 // order — the single source of truth for the CLI's usage text.
-var LedgerExperiments = []string{"fig6", "fig7", "fig8", "trajectory", "faults", "chaos"}
+var LedgerExperiments = []string{"fig6", "fig7", "fig8", "trajectory", "faults", "chaos", "chaos-gray"}
 
 // chaosLedgerOps is the campaign length of the chaos ledger run: long
 // enough that detection/repair/degradation counts are meaningful, short
 // enough for the CI gate.
 const chaosLedgerOps = 50
+
+// grayLedgerOps is the campaign length of the gray ledger run: each op
+// prices three cost runs and executes two real hedged collectives, so
+// it is shorter than the corruption soak for the same CI budget.
+const grayLedgerOps = 20
 
 // Ledger runs one experiment and returns its run ledger — the stable
 // obs.RunRecord that `mcio bench -out` writes and `mcio diff` compares.
@@ -94,6 +99,15 @@ func Ledger(name string, scale int64, seed uint64) (*obs.RunRecord, error) {
 		rec.Params["rate"] = "2"
 		rec.Params["repair"] = "true"
 		rec.Entries = append(rec.Entries, chaosEntries(rep)...)
+	case "chaos-gray":
+		rep, err := Gray(GrayConfig{Seed: seed, Ops: grayLedgerOps, Rate: 2, Repair: true})
+		if err != nil {
+			return nil, err
+		}
+		rec.Params["ops"] = strconv.Itoa(grayLedgerOps)
+		rec.Params["rate"] = "2"
+		rec.Params["repair"] = "true"
+		rec.Entries = append(rec.Entries, grayEntries(rep)...)
 	default:
 		return nil, fmt.Errorf("bench: Ledger knows %s; not %q", strings.Join(LedgerExperiments, ", "), name)
 	}
@@ -152,6 +166,41 @@ func chaosEntries(rep *ChaosReport) []obs.RunEntry {
 			"shrunk_ops":      float64(rep.ShrunkOps),
 			"independent_ops": float64(rep.IndependentOps),
 			"violations":      float64(len(rep.Violations)),
+		}},
+	}
+}
+
+// grayEntries converts a gray-campaign report into metrics-only ledger
+// entries — adaptive-policy activity, hedging totals, detection counts
+// and the pinned duel's wall times — so gray-failure behaviour is
+// drift-checked over history like the bandwidth sweeps.
+func grayEntries(rep *GrayReport) []obs.RunEntry {
+	return []obs.RunEntry{
+		{Name: "gray/adaptive", Metrics: map[string]float64{
+			"suspect_events":      float64(rep.SuspectEvents),
+			"proactive_failovers": float64(rep.ProactiveFailovers),
+			"breaker_opens":       float64(rep.BreakerOpens),
+			"breaker_fast_fails":  float64(rep.BreakerFastFails),
+			"rung_transitions":    float64(rep.RungTransitions),
+		}},
+		{Name: "gray/hedging", Metrics: map[string]float64{
+			"hedged_messages":     float64(rep.HedgedMessages),
+			"hedged_bytes":        float64(rep.HedgedBytes),
+			"deduped_bytes":       float64(rep.DedupedBytes),
+			"hedged_chunks":       float64(rep.HedgedChunks),
+			"deduped_chunk_bytes": float64(rep.DedupedChunkBytes),
+		}},
+		{Name: "gray/detection", Metrics: map[string]float64{
+			"injected":   float64(rep.Injected()),
+			"detected":   float64(rep.Detected),
+			"undetected": float64(rep.Undetected()),
+			"repaired":   float64(rep.Repaired),
+			"unrepaired": float64(rep.Unrepaired),
+		}},
+		{Name: "gray/duel", Metrics: map[string]float64{
+			"static_seconds":   rep.DuelStaticSeconds,
+			"adaptive_seconds": rep.DuelAdaptiveSeconds,
+			"violations":       float64(len(rep.Violations)),
 		}},
 	}
 }

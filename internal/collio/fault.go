@@ -19,6 +19,11 @@ type HostFault struct {
 	Kind     faults.Kind
 	Time     float64 // simulated seconds, event schedule time
 	Severity float64 // collapse fraction for MemCollapse
+	// Proactive marks a health-driven re-placement: no hard fault has
+	// fired — the suspicion detector crossed threshold — so the node's
+	// in-flight round completed fine and the handler should charge
+	// re-coordination cost, not failure-detection latency.
+	Proactive bool
 }
 
 // Reassignment is a handler's decision for one affected domain.
@@ -78,6 +83,22 @@ type FaultResult struct {
 	// events consumed: the read-back verify re-issues the torn access.
 	CorruptedMessages int
 	TornWrites        int
+	// Gray-failure accounting. FlakyDrops counts NICFlaky drops (a
+	// subset of DroppedMessages); LeakedNodes counts nodes whose memory
+	// budget a MemLeak decayed.
+	FlakyDrops  int
+	LeakedNodes int
+	// Hedging accounting (CostAdaptive only). A hedged message's bytes
+	// move twice — original and re-request — and the checksum path
+	// discards the loser, so DedupedBytes never reach user accounting.
+	HedgedMessages int
+	HedgedBytes    int64
+	DedupedBytes   int64
+	// Adaptive-failover accounting (CostAdaptive only).
+	ProactiveFailovers int
+	SuspectEvents      int
+	BreakerOpens       int
+	BreakerFastFails   int
 	// RecoverySeconds is simulated time spent on failure handling
 	// (stalls + recovery rounds), a subset of Seconds.
 	RecoverySeconds float64
@@ -234,6 +255,16 @@ func (it *workItem) fold(target int, live []Domain) *workItem {
 // ones.
 func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options,
 	inj *faults.Injector, handler FaultHandler) (*FaultResult, error) {
+	return costFaulted(ctx, plan, reqs, op, opt, inj, handler, nil)
+}
+
+// costFaulted is the shared engine behind CostWithFaults (ad == nil:
+// the static retry-only policy) and CostAdaptive (ad != nil: health
+// observation, circuit breakers, hedging and proactive failover).
+// Fault *pricing* — including the gray kinds — is identical either
+// way; only the response policy differs.
+func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options,
+	inj *faults.Injector, handler FaultHandler, ad *Adaptive) (*FaultResult, error) {
 	if inj.Empty() {
 		res, err := Cost(ctx, plan, reqs, op, opt)
 		if err != nil {
@@ -349,6 +380,16 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 	res := &FaultResult{}
 	spec := inj.Spec()
 	nodes := ctx.Topo.Nodes()
+	if ad != nil {
+		ad.init(spec)
+		ad.Detector.SetObserver(ctx.Obs)
+		ad.Breakers.SetObserver(ctx.Obs)
+	}
+	// leakFrac tracks the largest MemLeak fraction already applied per
+	// node; leakSev the paging severity that decay produced (kept apart
+	// from nodeSeverity so adaptive observation can attribute it).
+	leakFrac := make([]float64, nodes)
+	leakSev := make([]float64, nodes)
 	// nodeSeverity tracks the worst paging severity declared per node so
 	// recoveries never accidentally lower another domain's penalty.
 	nodeSeverity := map[int]float64{}
@@ -358,7 +399,11 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 		}
 	}
 
-	handleHostEvent := func(ev faults.Event) error {
+	// handleHostEvent applies one host-level event through the handler
+	// and returns how many reassignments it decided (a handler may
+	// lawfully decline a proactive move — e.g. no live host to take the
+	// work — in which case nothing changes and nothing is charged).
+	handleHostEvent := func(ev faults.Event, proactive bool) (int, error) {
 		// Which items (and through them, live domains) lose their host?
 		var affectedItems []int
 		domainSet := map[int]bool{}
@@ -374,19 +419,24 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 		}
 		sort.Ints(affected)
 
-		// The round in flight when the host died is lost: replay it.
-		for _, ii := range affectedItems {
-			if items[ii].done > 0 {
-				items[ii].done--
-				res.ReplayedRounds++
+		// The round in flight when the host died is lost: replay it. A
+		// proactive move happens between rounds on a live host — nothing
+		// was lost, nothing replays.
+		if !proactive {
+			for _, ii := range affectedItems {
+				if items[ii].done > 0 {
+					items[ii].done--
+					res.ReplayedRounds++
+				}
 			}
 		}
 
 		ras, err := handler.OnHostFault(ctx, HostFault{
 			Node: ev.Node, Kind: ev.Kind, Time: ev.Time, Severity: ev.Severity,
+			Proactive: proactive,
 		}, live, affected)
 		if err != nil {
-			return err
+			return 0, err
 		}
 
 		var stall float64
@@ -436,7 +486,7 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 			if ra.MergeInto >= 0 {
 				refold(ra.Domain, ra.MergeInto, true)
 				if err := applyReassignment(live, ra); err != nil {
-					return err
+					return 0, err
 				}
 				res.Failovers++
 				continue
@@ -444,7 +494,7 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 			moved := live[ra.Domain].AggNode != ra.AggNode
 			bufChanged := ra.BufferBytes > 0 && live[ra.Domain].BufferBytes != ra.BufferBytes
 			if err := applyReassignment(live, ra); err != nil {
-				return err
+				return 0, err
 			}
 			if s := ra.PagedSeverity; s > nodeSeverity[ra.AggNode] {
 				nodeSeverity[ra.AggNode] = s
@@ -463,7 +513,7 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 		if len(rec.Messages) > 0 {
 			eng.RunRecoveryRound(rec)
 		}
-		return nil
+		return len(ras), nil
 	}
 
 	// Main loop: one data round per iteration, fault events applied at
@@ -477,12 +527,95 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 			if ev.Kind != faults.NodeCrash && ev.Kind != faults.MemCollapse {
 				continue
 			}
-			if err := handleHostEvent(ev); err != nil {
+			if _, err := handleHostEvent(ev, false); err != nil {
 				return nil, err
 			}
 		}
 		for n := 0; n < nodes; n++ {
 			eng.SetNodeSlowdown(n, inj.NodeSlowdown(n, now))
+		}
+
+		// Gray-fault pricing, identical for static and adaptive runs: a
+		// slowed-down OST stretches honest streaming (the excess lands in
+		// delay blame), a leaking node pages harder every round.
+		for t := 0; t < ctx.FS.Targets; t++ {
+			eng.SetTargetSlowdown(t, inj.OSTSlowdownFactor(t, now))
+		}
+		for n := 0; n < nodes; n++ {
+			frac := inj.MemLeakFraction(n, now)
+			if frac <= leakFrac[n] {
+				continue
+			}
+			if leakFrac[n] == 0 {
+				res.LeakedNodes++
+			}
+			leakFrac[n] = frac
+			var sev float64
+			if mh, ok := handler.(MemDecayHandler); ok {
+				sev = mh.OnMemDecay(n, frac)
+			} else {
+				sev = leakSeverity(live, ctx.Avail[n], n, frac)
+			}
+			if sev > leakSev[n] {
+				leakSev[n] = sev
+			}
+			if leakSev[n] > nodeSeverity[n] {
+				nodeSeverity[n] = leakSev[n]
+			}
+			eng.SetNodePaged(n, nodeSeverity[n])
+		}
+
+		// Adaptive policy: feed the suspicion detector the per-entity
+		// service signals this round boundary exposes, open breakers on
+		// newly suspected targets, and proactively move work off
+		// suspected hosts before a hard fault makes the decision for us.
+		if ad != nil && ad.Detector != nil {
+			unit := spec.DropTimeoutSeconds
+			if unit <= 0 {
+				unit = 0.01
+			}
+			for t := 0; t < ctx.FS.Targets; t++ {
+				if ad.Detector.Observe("ost", t, inj.OSTSlowdownFactor(t, now)) {
+					// Every round a target stays suspected is one suspicion
+					// event against its breaker — the Nth opens it.
+					ad.Breakers.OnFailure(t, now)
+				}
+			}
+			for n := 0; n < nodes; n++ {
+				sig := inj.NodeSlowdown(n, now) +
+					(inj.MsgDelaySeconds(n, now)+inj.NICDelaySeconds(n, now))/unit +
+					4*leakSev[n]
+				ad.Detector.Observe("node", n, sig)
+			}
+			if ad.Proactive {
+				for _, n := range ad.Detector.SuspectedIDs("node") {
+					if ad.handled[n] {
+						continue
+					}
+					hasWork := false
+					for _, it := range items {
+						if it.active() && live[it.domain].AggNode == n {
+							hasWork = true
+							break
+						}
+					}
+					if !hasWork {
+						continue
+					}
+					ad.handled[n] = true
+					ev := faults.Event{Kind: faults.Straggler, Time: now, Node: n, Severity: 1}
+					moved, err := handleHostEvent(ev, true)
+					if err != nil {
+						return nil, err
+					}
+					// A declined move (handler found no live host to take
+					// the work) counts as nothing: the node keeps its
+					// domains and its suspicion stays on record.
+					if moved > 0 {
+						res.ProactiveFailovers++
+					}
+				}
+			}
 		}
 
 		anyActive := false
@@ -519,9 +652,27 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 				if co != nil {
 					co.shuf[it.domain].Add(per)
 				}
-				if delay := inj.MsgDelaySeconds(m.SrcNode, now); delay > 0 {
-					extraLat += delay
+				if delay := inj.MsgDelaySeconds(m.SrcNode, now) + inj.NICDelaySeconds(m.SrcNode, now); delay > 0 {
+					charged := delay
+					if ad != nil {
+						if dl, armed := ad.hedgeDeadline(); armed && dl < delay {
+							// Hedge the straggler: at the quantile deadline a
+							// duplicate re-request goes out and the first
+							// arrival wins. The duplicate's bytes move on the
+							// wire but the checksum path discards the loser,
+							// so they never reach user accounting.
+							charged = dl
+							round.Messages = append(round.Messages, m)
+							res.HedgedMessages++
+							res.HedgedBytes += m.Bytes
+							res.DedupedBytes += m.Bytes
+						}
+					}
+					extraLat += charged
 					res.DelayedMessages++
+				}
+				if ad != nil {
+					ad.window.Add(inj.MsgDelaySeconds(m.SrcNode, now) + inj.NICDelaySeconds(m.SrcNode, now))
 				}
 				if inj.TakeDrop(m.SrcNode) {
 					// Lost and resent after the drop timeout: the bytes
@@ -529,6 +680,13 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 					round.Messages = append(round.Messages, m)
 					extraLat += spec.DropTimeoutSeconds
 					res.DroppedMessages++
+				}
+				if inj.TakeNICDrop(m.SrcNode, now) {
+					// A flaky-NIC burst drop, priced like any other drop.
+					round.Messages = append(round.Messages, m)
+					extraLat += spec.DropTimeoutSeconds
+					res.DroppedMessages++
+					res.FlakyDrops++
 				}
 				if inj.TakeMsgFlip(m.SrcNode) {
 					// Silently corrupted: end-to-end verification detects
@@ -544,6 +702,37 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 			idx := (s + it.rot) % it.rounds
 			slice := pfs.SliceData(it.base, int64(idx)*it.buf, it.buf)
 			for _, acc := range ctx.FS.MapExtents(slice) {
+				if ad != nil && !ad.Breakers.Allow(acc.Target, now) {
+					// Open breaker: fail fast into degraded service. The
+					// access skips the retry ladder entirely and pays only
+					// the degraded streaming factor — the whole point of
+					// the breaker is not paying the full backoff walk per
+					// access against a target known to be sick.
+					bw := ctx.FS.TargetBW
+					if op == Read && ctx.FS.ReadBWFactor > 0 {
+						bw *= ctx.FS.ReadBWFactor
+					}
+					df := spec.DegradedFactor
+					if df < 1 {
+						df = 1
+					}
+					torn := 0
+					if op == Write && inj.TakeTornWrite(acc.Target) {
+						torn = 1
+						res.TornWrites++
+					}
+					round.IOOps = append(round.IOOps, sim.IOOp{
+						Target:       acc.Target,
+						Node:         d.AggNode,
+						Bytes:        acc.Bytes,
+						Requests:     acc.Requests + torn,
+						Contiguous:   acc.Contiguous,
+						Write:        op == Write,
+						DelaySeconds: float64(acc.Bytes) / bw * (df - 1),
+						Degraded:     true,
+					})
+					continue
+				}
 				retries, backoff, degraded := inj.OSTPenalty(acc.Target, now)
 				delay := backoff
 				if degraded {
@@ -554,6 +743,18 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 					delay += float64(acc.Bytes) / bw * (spec.DegradedFactor - 1)
 				}
 				res.StorageRetries += retries
+				if ad != nil {
+					if retries > 0 {
+						ad.Breakers.OnFailure(acc.Target, now)
+					} else if !inj.OSTWindowActive(acc.Target, now) &&
+						!(ad.Detector != nil && ad.Detector.Suspected("ost", acc.Target)) {
+						// A clean access only votes "healthy" when the
+						// detector agrees — a suspected-slow target must not
+						// have its breaker failure count washed out by
+						// accesses that merely completed (slowly).
+						ad.Breakers.OnSuccess(acc.Target, now)
+					}
+				}
 				torn := 0
 				if op == Write && inj.TakeTornWrite(acc.Target) {
 					// A torn object write is caught by the read-back verify
@@ -620,6 +821,11 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 	res.Injected = inj.Counts()
 	res.RecoverySeconds = totals.RecoverySeconds
 	res.RecoveryRounds = totals.RecoveryRounds
+	if ad != nil {
+		res.SuspectEvents = ad.Detector.Transitions()
+		res.BreakerOpens = ad.Breakers.Opens()
+		res.BreakerFastFails = ad.Breakers.FastFails()
+	}
 	if o := ctx.Obs; o != nil {
 		base := []obs.Label{obs.L("strategy", plan.Strategy), obs.L("op", op.String())}
 		o.Counter("faults.failovers", base...).Add(int64(res.Failovers))
@@ -630,6 +836,39 @@ func CostWithFaults(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim
 		o.Counter("faults.delayed_messages", base...).Add(int64(res.DelayedMessages))
 		o.Counter("faults.corrupted_messages", base...).Add(int64(res.CorruptedMessages))
 		o.Counter("faults.torn_writes", base...).Add(int64(res.TornWrites))
+		o.Counter("faults.flaky_drops", base...).Add(int64(res.FlakyDrops))
+		o.Counter("faults.leaked_nodes", base...).Add(int64(res.LeakedNodes))
+		if ad != nil {
+			o.Counter("faults.hedged_messages", base...).Add(int64(res.HedgedMessages))
+			o.Counter("faults.hedged_bytes", base...).Add(res.HedgedBytes)
+			o.Counter("faults.deduped_bytes", base...).Add(res.DedupedBytes)
+			o.Counter("faults.proactive_failovers", base...).Add(int64(res.ProactiveFailovers))
+		}
 	}
 	return res, nil
+}
+
+// leakSeverity is the inline MemLeak fallback for handlers without
+// memory accounting: the live domains' buffer reservations on node
+// against the decayed budget give the paged fraction.
+func leakSeverity(live []Domain, avail int64, node int, frac float64) float64 {
+	var reserved int64
+	for _, d := range live {
+		if d.AggNode == node && d.Bytes > 0 {
+			reserved += d.BufferBytes
+		}
+	}
+	if reserved <= 0 {
+		return 0
+	}
+	budget := int64(float64(avail) * (1 - frac))
+	over := reserved - budget
+	if over <= 0 {
+		return 0
+	}
+	s := float64(over) / float64(reserved)
+	if s > 1 {
+		s = 1
+	}
+	return s
 }

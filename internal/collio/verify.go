@@ -49,6 +49,11 @@ const (
 // hot path pays nothing.
 func ExecVerified(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op Op,
 	chk *integrity.Checker, corr *faults.Corrupter) error {
+	return execVerified(ctx, plan, data, file, op, chk, corr, nil)
+}
+
+func execVerified(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op Op,
+	chk *integrity.Checker, corr *faults.Corrupter, hed *Hedger) error {
 	if chk == nil && corr == nil {
 		return Exec(ctx, plan, data, file, op)
 	}
@@ -101,7 +106,7 @@ func ExecVerified(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op 
 						// Local copy: no wire hop, nothing to corrupt or verify.
 						chunk = gather(normReq[me], data[me].Buf, ov)
 					} else {
-						chunk = recvVerified(p, r, nd, i, chk, ov)
+						chunk = recvVerified(p, r, nd, i, chk, ov, hed)
 					}
 					scatter(d.Extents, domBuf, ov, chunk)
 					putStage(chunk)
@@ -145,7 +150,7 @@ func ExecVerified(ctx *Context, plan *Plan, data []RankData, file *pfs.File, op 
 			}
 			if myIdx >= 0 && me != d.Aggregator {
 				ov := sched.overlap[myIdx]
-				chunk := recvVerified(p, d.Aggregator, nd, i, chk, ov)
+				chunk := recvVerified(p, d.Aggregator, nd, i, chk, ov, hed)
 				scatter(normReq[me], data[me].Buf, ov, chunk)
 				putStage(chunk)
 			}
@@ -191,7 +196,7 @@ func sendVerified(p *mpi.Proc, dst, nd, i int, chk *integrity.Checker, corr *fau
 // chunk is the best copy obtained (with repair off or an exhausted
 // budget, a corrupted one — detected and counted, as a checksummed-but-
 // unrepaired transport would leave it).
-func recvVerified(p *mpi.Proc, src, nd, i int, chk *integrity.Checker, ov []pfs.Extent) []byte {
+func recvVerified(p *mpi.Proc, src, nd, i int, chk *integrity.Checker, ov []pfs.Extent, hed *Hedger) []byte {
 	chunk := p.Recv(src, i)
 	if !chk.Enabled() {
 		return chunk
@@ -230,6 +235,28 @@ func recvVerified(p *mpi.Proc, src, nd, i int, chk *integrity.Checker, ov []pfs.
 		} else {
 			chk.CountUnrepaired()
 		}
+	}
+	if verr == nil && chk.Repair() && hed.Hedge(i, src) {
+		// Hedged duplicate delivery: the original already verified (it
+		// "won the race"), but a duplicate was requested before it
+		// arrived. Pull the duplicate through the resend path, verify
+		// it, and discard it — the winner's bytes are the only copy
+		// that ever reaches the user buffer.
+		hed.CountHedged()
+		p.Send(src, 2*nd+i, []byte{ackResend})
+		dup := p.Recv(src, 3*nd+i)
+		dupSums, derr := integrity.DecodeSums(p.Recv(src, 4*nd+i))
+		if derr != nil {
+			panic(derr)
+		}
+		if chk.Recheck(ov, dup, dupSums) {
+			hed.CountDeduped(int64(len(dup)))
+		} else {
+			// A fresh flip landed on the duplicate in flight; it is
+			// detected and discarded all the same.
+			chk.CountDetected()
+		}
+		putStage(dup)
 	}
 	if chk.Repair() {
 		p.Send(src, 2*nd+i, []byte{ackOK})

@@ -22,6 +22,10 @@ type RecoveryState struct {
 	groupRanks  [][]int
 	tracker     *memmodel.Tracker
 	down        map[int]bool
+	// leakBase snapshots a node's leak-free memory budget the first time
+	// a MemLeak decays it, so successive decay fractions apply against
+	// the same base instead of compounding.
+	leakBase map[int]int64
 }
 
 // Down reports whether a node has been declared failed (crashed, or
@@ -50,6 +54,11 @@ func (st *RecoveryState) DownNodes() []int {
 type Failover struct {
 	State  *RecoveryState
 	Detect float64
+	// ProactiveDetect is the (much smaller) stall charged for a
+	// health-driven proactive re-placement: no failure had to be
+	// detected, only a suspicion threshold crossed and the move
+	// coordinated. Zero defaults to Detect/8.
+	ProactiveDetect float64
 }
 
 // Name implements collio.FaultHandler.
@@ -60,7 +69,31 @@ func (f *Failover) OnHostFault(ctx *collio.Context, hf collio.HostFault,
 	live []collio.Domain, affected []int) ([]collio.Reassignment, error) {
 	st := f.State
 	st.down[hf.Node] = true
-	if hf.Kind == faults.MemCollapse {
+	stall := f.Detect
+	if hf.Proactive {
+		// Health-driven re-placement off a suspected host: the node is
+		// alive (its memory accounting stays truthful — being down only
+		// excludes it from future placement), and no detection timeout
+		// was paid, only the suspicion latency.
+		stall = f.ProactiveDetect
+		if stall <= 0 {
+			stall = f.Detect / 8
+		}
+		// A proactive move needs somewhere better to go. When every
+		// other host is already down (crashed, collapsed, or itself
+		// suspected away), decline: the node still works — slowly — and
+		// staying put beats relocating onto nothing.
+		liveHosts := 0
+		for n := 0; n < ctx.Topo.Nodes(); n++ {
+			if !st.down[n] {
+				liveHosts++
+			}
+		}
+		if liveHosts == 0 {
+			delete(st.down, hf.Node)
+			return nil, nil
+		}
+	} else if hf.Kind == faults.MemCollapse {
 		// The co-resident application took the memory: the node stays up
 		// but can no longer back aggregation buffers.
 		st.tracker.Collapse(hf.Node, hf.Severity)
@@ -86,7 +119,7 @@ func (f *Failover) OnHostFault(ctx *collio.Context, hf collio.HostFault,
 			}
 			if err != nil {
 				// Last leaf of its group: nothing to merge into, relocate.
-				ra, rerr := f.relocate(ctx, cur, g, live)
+				ra, rerr := f.relocate(ctx, cur, g, live, stall)
 				if rerr != nil {
 					return nil, rerr
 				}
@@ -102,7 +135,7 @@ func (f *Failover) OnHostFault(ctx *collio.Context, hf collio.HostFault,
 			ras = append(ras, collio.Reassignment{
 				Domain:       cur,
 				MergeInto:    ai,
-				StallSeconds: f.Detect,
+				StallSeconds: stall,
 			})
 			if !st.down[live[ai].AggNode] {
 				break
@@ -120,7 +153,7 @@ func (f *Failover) OnHostFault(ctx *collio.Context, hf collio.HostFault,
 // most available memory (any live host if the whole group's hosts are
 // down), sizing the buffer to what that host has, as planning's
 // fallback does.
-func (f *Failover) relocate(ctx *collio.Context, di, g int, live []collio.Domain) (collio.Reassignment, error) {
+func (f *Failover) relocate(ctx *collio.Context, di, g int, live []collio.Domain, stall float64) (collio.Reassignment, error) {
 	st := f.State
 	best, bestAvail := -1, int64(-1)
 	consider := func(n int) {
@@ -190,6 +223,36 @@ func (f *Failover) relocate(ctx *collio.Context, di, g int, live []collio.Domain
 		AggNode:       best,
 		BufferBytes:   buf,
 		PagedSeverity: severity,
-		StallSeconds:  f.Detect,
+		StallSeconds:  stall,
 	}, nil
+}
+
+// OnMemDecay implements collio.MemDecayHandler: a MemLeak has decayed
+// node's memory budget to (1-leaked) of its leak-free value. The first
+// decay snapshots the leak-free budget so later fractions apply to the
+// same base, the tracker's budget is rewritten (reservations stay
+// booked against the shrunken budget), and the node's resulting paged
+// severity is returned for the cost engine. A node already declared
+// down keeps its zeroed budget.
+func (f *Failover) OnMemDecay(node int, leaked float64) float64 {
+	st := f.State
+	if st.down[node] {
+		return st.tracker.Severity(node)
+	}
+	if st.leakBase == nil {
+		st.leakBase = make(map[int]int64)
+	}
+	base, ok := st.leakBase[node]
+	if !ok {
+		base = st.tracker.Budget(node)
+		st.leakBase[node] = base
+	}
+	if leaked < 0 {
+		leaked = 0
+	}
+	if leaked > 1 {
+		leaked = 1
+	}
+	st.tracker.SetAvail(node, int64(float64(base)*(1-leaked)))
+	return st.tracker.Severity(node)
 }

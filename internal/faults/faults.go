@@ -58,9 +58,55 @@ const (
 	// target: the request reports success but only a prefix of the
 	// bytes lands, as a power-fail mid-write would leave it.
 	TornWrite
+	// OSTSlowdown is a gray storage failure: the target keeps answering,
+	// but its service time is multiplied by a degradation curve (step,
+	// linear drip, or intermittent flap — Event.Profile) for Duration
+	// seconds. No error is ever returned, so only latency observation
+	// can tell.
+	OSTSlowdown
+	// NICFlaky is a gray network failure: messages leaving the node pay
+	// extra latency for Duration seconds and every k-th one is dropped
+	// (bursty per-link delay/drop, below the threshold a hard fault
+	// detector would fire on).
+	NICFlaky
+	// MemLeak gradually decays a node's available memory (a co-resident
+	// leak): the budget the planner reserved against shrinks linearly to
+	// Severity× its size over Duration seconds, feeding
+	// memmodel.SetAvail through the fault handler.
+	MemLeak
 
 	numKinds int = iota
 )
+
+// Profile shapes a gray-failure degradation curve over its window.
+type Profile int
+
+const (
+	// ProfileStep holds the full severity for the whole window.
+	ProfileStep Profile = iota
+	// ProfileDrip ramps severity linearly from healthy to full across
+	// the window — the slow-death disk.
+	ProfileDrip
+	// ProfileFlap alternates healthy and fully degraded eighths of the
+	// window — the intermittent component hysteresis must not thrash on.
+	ProfileFlap
+
+	numProfiles int = iota
+)
+
+// String names the profile for reports.
+func (p Profile) String() string {
+	switch p {
+	case ProfileStep:
+		return "step"
+	case ProfileDrip:
+		return "drip"
+	case ProfileFlap:
+		return "flap"
+	default:
+		return fmt.Sprintf("profile(%d)", int(p))
+	}
+}
 
 // String names the kind for metrics labels and reports.
 func (k Kind) String() string {
@@ -83,6 +129,12 @@ func (k Kind) String() string {
 		return "msg-bitflip"
 	case TornWrite:
 		return "torn-write"
+	case OSTSlowdown:
+		return "ost-slowdown"
+	case NICFlaky:
+		return "nic-flaky"
+	case MemLeak:
+		return "mem-leak"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -100,6 +152,9 @@ type Event struct {
 	Target   int
 	Duration float64
 	Severity float64
+	// Profile shapes gray-failure kinds (OSTSlowdown) over the window;
+	// zero (ProfileStep) for every other kind.
+	Profile Profile
 }
 
 // Spec declares the fault environment. All MTBF fields are mean time
@@ -135,6 +190,21 @@ type Spec struct {
 	// turns them on together.
 	MsgBitFlipMTBF float64 // per-node MTBF of one corrupted shuffle message
 	TornWriteMTBF  float64 // per-target MTBF of one torn object write
+
+	// Gray-failure kinds. All default to 0 (off) so schedules pinned
+	// before they existed are unchanged; WithGray turns them on together.
+	OSTSlowdownMTBF     float64 // per-target MTBF of one degradation window
+	OSTSlowdownDuration float64 // window length in simulated seconds
+	OSTSlowdownFactor   float64 // peak service-time multiplier, > 1
+
+	NICFlakyMTBF      float64 // per-node MTBF of one flaky-link window
+	NICFlakyDuration  float64 // window length in simulated seconds
+	NICFlakySeconds   float64 // latency added per message while flaky
+	NICFlakyDropEvery int     // every k-th in-window message is dropped; 0 = delay only
+
+	MemLeakMTBF     float64 // per-node MTBF of one leak onset
+	MemLeakDuration float64 // seconds over which the leak ramps to full size
+	MemLeakFraction float64 // fraction of the node budget leaked at full size, (0,1)
 
 	// Recovery pricing knobs consumed by the handlers, kept here so one
 	// Spec fully determines a faulted run.
@@ -197,6 +267,9 @@ func (s Spec) WithRate(rate float64) Spec {
 		s.MsgDropMTBF = 0
 		s.MsgBitFlipMTBF = 0
 		s.TornWriteMTBF = 0
+		s.OSTSlowdownMTBF = 0
+		s.NICFlakyMTBF = 0
+		s.MemLeakMTBF = 0
 		return s
 	}
 	s.NodeCrashMTBF /= rate
@@ -208,6 +281,34 @@ func (s Spec) WithRate(rate float64) Spec {
 	s.MsgDropMTBF /= rate
 	s.MsgBitFlipMTBF /= rate
 	s.TornWriteMTBF /= rate
+	s.OSTSlowdownMTBF /= rate
+	s.NICFlakyMTBF /= rate
+	s.MemLeakMTBF /= rate
+	return s
+}
+
+// WithGray enables the gray-failure kinds — slow-but-answering OSTs,
+// flaky NICs, leaking nodes — at the given rate multiplier (1 ≈ one
+// window per entity across the horizon). Rate <= 0 leaves them off.
+// DefaultSpec keeps all three at 0 so schedules pinned before gray
+// faults existed are unchanged.
+func (s Spec) WithGray(rate float64) Spec {
+	if rate <= 0 {
+		s.OSTSlowdownMTBF = 0
+		s.NICFlakyMTBF = 0
+		s.MemLeakMTBF = 0
+		return s
+	}
+	s.OSTSlowdownMTBF = 2 * s.Horizon / rate
+	s.OSTSlowdownDuration = s.Horizon / 3
+	s.OSTSlowdownFactor = 6
+	s.NICFlakyMTBF = 2 * s.Horizon / rate
+	s.NICFlakyDuration = s.Horizon / 4
+	s.NICFlakySeconds = s.Horizon / 250
+	s.NICFlakyDropEvery = 64
+	s.MemLeakMTBF = 4 * s.Horizon / rate
+	s.MemLeakDuration = s.Horizon / 2
+	s.MemLeakFraction = 0.6
 	return s
 }
 
@@ -244,6 +345,9 @@ func (s Spec) Validate() error {
 		{"MsgDropMTBF", s.MsgDropMTBF},
 		{"MsgBitFlipMTBF", s.MsgBitFlipMTBF},
 		{"TornWriteMTBF", s.TornWriteMTBF},
+		{"OSTSlowdownMTBF", s.OSTSlowdownMTBF},
+		{"NICFlakyMTBF", s.NICFlakyMTBF},
+		{"MemLeakMTBF", s.MemLeakMTBF},
 	} {
 		if m.v < 0 || math.IsNaN(m.v) {
 			return fmt.Errorf("faults: %s %v must be >= 0", m.name, m.v)
@@ -260,6 +364,15 @@ func (s Spec) Validate() error {
 	}
 	if s.OSTTransientMTBF > 0 && (s.RetryBackoff <= 0 || s.MaxRetries < 1) {
 		return fmt.Errorf("faults: transient OST faults need RetryBackoff > 0 and MaxRetries >= 1")
+	}
+	if s.OSTSlowdownMTBF > 0 && s.OSTSlowdownFactor <= 1 {
+		return fmt.Errorf("faults: OSTSlowdownFactor %v must be > 1", s.OSTSlowdownFactor)
+	}
+	if s.NICFlakyMTBF > 0 && s.NICFlakyDropEvery < 0 {
+		return fmt.Errorf("faults: NICFlakyDropEvery %v must be >= 0", s.NICFlakyDropEvery)
+	}
+	if s.MemLeakMTBF > 0 && (s.MemLeakFraction <= 0 || s.MemLeakFraction >= 1) {
+		return fmt.Errorf("faults: MemLeakFraction %v must be in (0,1)", s.MemLeakFraction)
 	}
 	return nil
 }
@@ -335,6 +448,22 @@ func (s Spec) Generate(nodes, targets int) (*Plan, error) {
 	})
 	addTargetKind(OSTPermanent, s.OSTPermanentMTBF, func(_ *stats.RNG, target int, t float64) Event {
 		return Event{Kind: OSTPermanent, Time: t, Node: -1, Target: target, Severity: s.DegradedFactor}
+	})
+	// Gray kinds. Each event draws its degradation profile from the same
+	// per-(kind, entity) stream as its arrival time, so the curve shape
+	// is as schedule-pinned as the window itself.
+	addTargetKind(OSTSlowdown, s.OSTSlowdownMTBF, func(r *stats.RNG, target int, t float64) Event {
+		return Event{Kind: OSTSlowdown, Time: t, Node: -1, Target: target,
+			Duration: s.OSTSlowdownDuration, Severity: s.OSTSlowdownFactor,
+			Profile: Profile(r.Intn(numProfiles))}
+	})
+	addNodeKind(NICFlaky, s.NICFlakyMTBF, func(_ *stats.RNG, node int, t float64) Event {
+		return Event{Kind: NICFlaky, Time: t, Node: node, Target: -1,
+			Duration: s.NICFlakyDuration, Severity: s.NICFlakySeconds}
+	})
+	addNodeKind(MemLeak, s.MemLeakMTBF, func(_ *stats.RNG, node int, t float64) Event {
+		return Event{Kind: MemLeak, Time: t, Node: node, Target: -1,
+			Duration: s.MemLeakDuration, Severity: s.MemLeakFraction}
 	})
 
 	sort.Slice(p.Events, func(i, j int) bool {

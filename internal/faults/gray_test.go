@@ -1,0 +1,242 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression for the backoff-ladder mid-round recovery bug: the first
+// access's ladder walks past the window end (the target has recovered
+// in ladder time), so a second access in the same round must price zero
+// retries instead of re-paying the full ladder from the round boundary.
+func TestOSTPenaltyRecoversMidRound(t *testing.T) {
+	plan := &Plan{
+		Spec: Spec{RetryBackoff: 0.01, MaxRetries: 5},
+		Events: []Event{
+			{Kind: OSTTransient, Time: 1.5, Node: -1, Target: 0, Duration: 0.1},
+		},
+	}
+	in := NewInjector(plan)
+	in.Advance(1.55)
+
+	r1, b1, deg := in.OSTPenalty(0, 1.55)
+	if r1 == 0 || b1 <= 0 || deg {
+		t.Fatalf("first access: retries=%d backoff=%v degraded=%v, want retries>0, no degradation", r1, b1, deg)
+	}
+	if 1.55+b1 < 1.6 {
+		t.Fatalf("ladder should have cleared the window (paid to %v < 1.6)", 1.55+b1)
+	}
+	// Same round boundary, second access: the ladder already carried the
+	// target past its window end — it has recovered mid-round.
+	r2, b2, deg2 := in.OSTPenalty(0, 1.55)
+	if r2 != 0 || b2 != 0 || deg2 {
+		t.Fatalf("second access re-paid the ladder after mid-round recovery: retries=%d backoff=%v degraded=%v", r2, b2, deg2)
+	}
+}
+
+// A window too long for one ladder is consumed incrementally: each
+// access resumes from the previous access's cursor rather than
+// restarting at the round boundary, so repeated accesses walk the
+// window out instead of each paying the full ladder forever.
+func TestOSTPenaltyLadderCursorAdvances(t *testing.T) {
+	plan := &Plan{
+		Spec: Spec{RetryBackoff: 0.001, MaxRetries: 2},
+		Events: []Event{
+			{Kind: OSTTransient, Time: 0.1, Node: -1, Target: 5, Duration: 10},
+		},
+	}
+	in := NewInjector(plan)
+	in.Advance(0.2)
+	r1, b1, deg := in.OSTPenalty(5, 0.2)
+	if r1 != 2 || !deg {
+		t.Fatalf("first access: retries=%d degraded=%v, want 2/true", r1, deg)
+	}
+	r2, b2, _ := in.OSTPenalty(5, 0.2)
+	if r2 != 2 {
+		t.Fatalf("second access retries=%d, want 2 (window still active past the cursor)", r2)
+	}
+	if b2 <= 0 || b1 <= 0 {
+		t.Fatalf("backoffs must be positive (b1=%v b2=%v)", b1, b2)
+	}
+	// The cursor advanced: only one escalation even across repeated
+	// exhausted ladders.
+	if in.Escalations() != 1 {
+		t.Fatalf("escalations = %d, want 1", in.Escalations())
+	}
+}
+
+func TestWithGrayGeneratesAllThreeKinds(t *testing.T) {
+	spec := DefaultSpec(42, 10).WithRate(0).WithGray(4)
+	plan, err := spec.Generate(8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Kind]int{}
+	for _, ev := range plan.Events {
+		counts[ev.Kind]++
+		switch ev.Kind {
+		case OSTSlowdown, NICFlaky, MemLeak:
+		default:
+			t.Fatalf("WithRate(0).WithGray generated non-gray kind %v", ev.Kind)
+		}
+	}
+	for _, k := range []Kind{OSTSlowdown, NICFlaky, MemLeak} {
+		if counts[k] == 0 {
+			t.Fatalf("no %v events at rate 4 over 8 nodes / 6 targets", k)
+		}
+	}
+
+	// Determinism: same spec, byte-identical schedule.
+	again, err := spec.Generate(8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Events) != len(plan.Events) {
+		t.Fatalf("regenerated schedule has %d events, want %d", len(again.Events), len(plan.Events))
+	}
+	for i := range plan.Events {
+		if plan.Events[i] != again.Events[i] {
+			t.Fatalf("event %d differs across regenerations: %+v vs %+v", i, plan.Events[i], again.Events[i])
+		}
+	}
+}
+
+// Adding gray kinds must not perturb schedules pinned before they
+// existed: the non-gray event sequence is identical with gray on or off.
+func TestGrayKindsDoNotPerturbPinnedSchedules(t *testing.T) {
+	base := DefaultSpec(7, 5).WithCorruption(1)
+	withGray := base.WithGray(2)
+	p1, err := base.Generate(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := withGray.Generate(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldOnly []Event
+	for _, ev := range p2.Events {
+		switch ev.Kind {
+		case OSTSlowdown, NICFlaky, MemLeak:
+		default:
+			oldOnly = append(oldOnly, ev)
+		}
+	}
+	if len(oldOnly) != len(p1.Events) {
+		t.Fatalf("gray kinds changed the pre-existing event count: %d vs %d", len(oldOnly), len(p1.Events))
+	}
+	for i := range p1.Events {
+		if p1.Events[i] != oldOnly[i] {
+			t.Fatalf("pinned event %d perturbed: %+v vs %+v", i, p1.Events[i], oldOnly[i])
+		}
+	}
+}
+
+func TestOSTSlowdownProfiles(t *testing.T) {
+	mk := func(p Profile) *Injector {
+		in := NewInjector(&Plan{Events: []Event{
+			{Kind: OSTSlowdown, Time: 1, Node: -1, Target: 0, Duration: 8, Severity: 5, Profile: p},
+		}})
+		in.Advance(1)
+		return in
+	}
+
+	in := mk(ProfileStep)
+	for _, now := range []float64{1.0, 4.5, 8.9} {
+		if got := in.OSTSlowdownFactor(0, now); got != 5 {
+			t.Fatalf("step factor at %v = %v, want 5", now, got)
+		}
+	}
+	if got := in.OSTSlowdownFactor(0, 9.0); got != 1 {
+		t.Fatalf("factor after window = %v, want 1", got)
+	}
+	if got := in.OSTSlowdownFactor(1, 4); got != 1 {
+		t.Fatalf("unaffected target factor = %v, want 1", got)
+	}
+
+	in = mk(ProfileDrip)
+	early := in.OSTSlowdownFactor(0, 1.1)
+	late := in.OSTSlowdownFactor(0, 8.9)
+	if early >= late || early < 1 || late > 5 {
+		t.Fatalf("drip must ramp: early=%v late=%v", early, late)
+	}
+	mid := in.OSTSlowdownFactor(0, 5) // frac = 0.5 -> 1 + 4*0.5
+	if math.Abs(mid-3) > 1e-9 {
+		t.Fatalf("drip midpoint = %v, want 3", mid)
+	}
+
+	in = mk(ProfileFlap)
+	sawPeak, sawHealthy := false, false
+	for now := 1.0; now < 9; now += 0.25 {
+		switch in.OSTSlowdownFactor(0, now) {
+		case 5:
+			sawPeak = true
+		case 1:
+			sawHealthy = true
+		}
+	}
+	if !sawPeak || !sawHealthy {
+		t.Fatalf("flap must alternate (peak=%v healthy=%v)", sawPeak, sawHealthy)
+	}
+}
+
+func TestNICFlakyDelayAndDrops(t *testing.T) {
+	in := NewInjector(&Plan{
+		Spec: Spec{NICFlakyDropEvery: 3},
+		Events: []Event{
+			{Kind: NICFlaky, Time: 2, Node: 4, Target: -1, Duration: 4, Severity: 0.02},
+		},
+	})
+	in.Advance(3)
+	if got := in.NICDelaySeconds(4, 3); got != 0.02 {
+		t.Fatalf("in-window NIC delay = %v, want 0.02", got)
+	}
+	if got := in.NICDelaySeconds(4, 7); got != 0 {
+		t.Fatalf("post-window NIC delay = %v, want 0", got)
+	}
+	if got := in.NICDelaySeconds(5, 3); got != 0 {
+		t.Fatalf("unaffected node NIC delay = %v, want 0", got)
+	}
+	drops := 0
+	for i := 0; i < 9; i++ {
+		if in.TakeNICDrop(4, 3) {
+			drops++
+		}
+	}
+	if drops != 3 {
+		t.Fatalf("9 in-window messages at DropEvery=3 dropped %d, want 3", drops)
+	}
+	if in.TakeNICDrop(4, 7) {
+		t.Fatal("post-window message dropped")
+	}
+}
+
+func TestMemLeakFractionRampsAndClamps(t *testing.T) {
+	in := NewInjector(&Plan{Events: []Event{
+		{Kind: MemLeak, Time: 1, Node: 2, Target: -1, Duration: 10, Severity: 0.6},
+	}})
+	in.Advance(1)
+	if got := in.MemLeakFraction(2, 1); got != 0 {
+		t.Fatalf("leak at onset = %v, want 0", got)
+	}
+	half := in.MemLeakFraction(2, 6) // halfway through the ramp
+	if math.Abs(half-0.3) > 1e-9 {
+		t.Fatalf("leak at ramp midpoint = %v, want 0.3", half)
+	}
+	if got := in.MemLeakFraction(2, 100); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("leak after ramp = %v, want 0.6 (holds, never recovers)", got)
+	}
+	if got := in.MemLeakFraction(3, 6); got != 0 {
+		t.Fatalf("unaffected node leak = %v, want 0", got)
+	}
+
+	// Stacked leaks clamp below 1: the node never fully dies.
+	in2 := NewInjector(&Plan{Events: []Event{
+		{Kind: MemLeak, Time: 0, Node: 0, Target: -1, Duration: 1, Severity: 0.6},
+		{Kind: MemLeak, Time: 0, Node: 0, Target: -1, Duration: 1, Severity: 0.6},
+	}})
+	in2.Advance(0)
+	if got := in2.MemLeakFraction(0, 5); got != 0.95 {
+		t.Fatalf("stacked leaks = %v, want clamp at 0.95", got)
+	}
+}

@@ -32,6 +32,23 @@ type Injector struct {
 	// boundaries see the degradation at event time, not at the next
 	// Advance (retry ladders walk forward in time mid-round).
 	ostPermAt map[int]float64
+	// ostLadderPaid is how far into simulated time each target's retry
+	// ladder has already walked: later accesses in the same round resume
+	// from here instead of re-paying the ladder from the round boundary,
+	// so a target that recovers mid-round is seen as recovered.
+	ostLadderPaid map[int]float64
+
+	// Gray-failure windows.
+	slowStart map[int]float64 // target -> slowdown window start
+	slowEnd   map[int]float64 // target -> slowdown window end
+	slowFac   map[int]float64 // target -> peak service-time multiplier
+	slowProf  map[int]Profile // target -> degradation curve shape
+	nicStart  map[int]float64 // node -> flaky window start
+	nicEnd    map[int]float64 // node -> flaky window end
+	nicSec    map[int]float64 // node -> latency added per message
+	nicEvery  map[int]int     // node -> every k-th in-window message dropped
+	nicSeen   map[int]int     // node -> in-window messages observed so far
+	leaks     map[int][]Event // node -> leak onsets (rare; summed on query)
 
 	counts    map[Kind]int
 	escalated int // transient windows that exhausted the retry budget
@@ -44,19 +61,30 @@ type Injector struct {
 // injector (Empty reports true and every query is a no-op).
 func NewInjector(plan *Plan) *Injector {
 	in := &Injector{
-		dead:         map[int]bool{},
-		stragglerEnd: map[int]float64{},
-		stragglerFac: map[int]float64{},
-		delayEnd:     map[int]float64{},
-		delaySec:     map[int]float64{},
-		dropPending:  map[int]int{},
-		flipPending:  map[int]int{},
-		tornPending:  map[int]int{},
-		ostWindowEnd: map[int]float64{},
-		ostDegraded:  map[int]bool{},
-		ostPermAt:    map[int]float64{},
-		counts:       map[Kind]int{},
-		injected:     map[Kind]*obs.Counter{},
+		dead:          map[int]bool{},
+		stragglerEnd:  map[int]float64{},
+		stragglerFac:  map[int]float64{},
+		delayEnd:      map[int]float64{},
+		delaySec:      map[int]float64{},
+		dropPending:   map[int]int{},
+		flipPending:   map[int]int{},
+		tornPending:   map[int]int{},
+		ostWindowEnd:  map[int]float64{},
+		ostDegraded:   map[int]bool{},
+		ostPermAt:     map[int]float64{},
+		ostLadderPaid: map[int]float64{},
+		slowStart:     map[int]float64{},
+		slowEnd:       map[int]float64{},
+		slowFac:       map[int]float64{},
+		slowProf:      map[int]Profile{},
+		nicStart:      map[int]float64{},
+		nicEnd:        map[int]float64{},
+		nicSec:        map[int]float64{},
+		nicEvery:      map[int]int{},
+		nicSeen:       map[int]int{},
+		leaks:         map[int][]Event{},
+		counts:        map[Kind]int{},
+		injected:      map[Kind]*obs.Counter{},
 	}
 	if plan != nil {
 		in.spec = plan.Spec
@@ -152,6 +180,24 @@ func (in *Injector) apply(ev Event) {
 		}
 	case OSTPermanent:
 		in.ostDegraded[ev.Target] = true
+	case OSTSlowdown:
+		end := ev.Time + ev.Duration
+		if end > in.slowEnd[ev.Target] {
+			in.slowStart[ev.Target] = ev.Time
+			in.slowEnd[ev.Target] = end
+			in.slowFac[ev.Target] = ev.Severity
+			in.slowProf[ev.Target] = ev.Profile
+		}
+	case NICFlaky:
+		end := ev.Time + ev.Duration
+		if end > in.nicEnd[ev.Node] {
+			in.nicStart[ev.Node] = ev.Time
+			in.nicEnd[ev.Node] = end
+			in.nicSec[ev.Node] = ev.Severity
+			in.nicEvery[ev.Node] = in.spec.NICFlakyDropEvery
+		}
+	case MemLeak:
+		in.leaks[ev.Node] = append(in.leaks[ev.Node], ev)
 	}
 }
 
@@ -237,6 +283,12 @@ func (in *Injector) TakeTornWrite(target int) bool {
 // window ends or MaxRetries is exhausted), and whether the target is
 // (now) permanently degraded. A window that outlives the retry budget
 // escalates the target to degraded.
+//
+// The ladder re-checks schedule state at each retry step: an earlier
+// access in the same round may already have walked its backoff past the
+// window's end, in which case the target has recovered in ladder time
+// and later accesses pay nothing — they are not charged as if the
+// target stayed failed until the next round boundary.
 func (in *Injector) OSTPenalty(target int, now float64) (retries int, backoffSeconds float64, degraded bool) {
 	if in == nil {
 		return 0, 0, false
@@ -250,6 +302,16 @@ func (in *Injector) OSTPenalty(target int, now float64) (retries int, backoffSec
 		in.ostDegraded[target] = true
 	}
 	if end, ok := in.ostWindowEnd[target]; ok && now < end {
+		// Resume from wherever the target's ladder already got to this
+		// round; a cursor at or past the window end means the target
+		// recovered mid-round and the access succeeds first try.
+		start := now
+		if paid := in.ostLadderPaid[target]; paid > start {
+			start = paid
+		}
+		if start >= end {
+			return 0, 0, in.ostDegraded[target]
+		}
 		step := in.spec.RetryBackoff
 		if step <= 0 {
 			step = 1e-4
@@ -258,17 +320,20 @@ func (in *Injector) OSTPenalty(target int, now float64) (retries int, backoffSec
 		if max < 1 {
 			max = 1
 		}
-		for retries < max && now+backoffSeconds < end {
+		for retries < max && start+backoffSeconds < end {
 			backoffSeconds += step
 			step *= 2
 			retries++
 			// A ladder that backs off past the scheduled permanent failure
 			// finishes against a degraded target.
-			if at, ok := in.ostPermAt[target]; ok && now+backoffSeconds >= at {
+			if at, ok := in.ostPermAt[target]; ok && start+backoffSeconds >= at {
 				in.ostDegraded[target] = true
 			}
 		}
-		if now+backoffSeconds < end && !in.ostDegraded[target] {
+		if cursor := start + backoffSeconds; cursor > in.ostLadderPaid[target] {
+			in.ostLadderPaid[target] = cursor
+		}
+		if start+backoffSeconds < end && !in.ostDegraded[target] {
 			// Retry budget exhausted inside the window: the target is
 			// failed over to degraded service for the rest of the run.
 			in.ostDegraded[target] = true
@@ -276,6 +341,111 @@ func (in *Injector) OSTPenalty(target int, now float64) (retries int, backoffSec
 		}
 	}
 	return retries, backoffSeconds, in.ostDegraded[target]
+}
+
+// OSTWindowActive reports whether target is inside a transient-error
+// window at time now, without walking (or charging) the retry ladder.
+// Circuit breakers use it to probe schedule state cheaply.
+func (in *Injector) OSTWindowActive(target int, now float64) bool {
+	if in == nil {
+		return false
+	}
+	end, ok := in.ostWindowEnd[target]
+	return ok && now < end
+}
+
+// OSTSlowdownFactor returns the gray service-time multiplier for target
+// at time now: 1 when healthy, otherwise the window's severity shaped
+// by its degradation profile (step holds peak, drip ramps linearly,
+// flap alternates healthy/degraded eighths of the window).
+func (in *Injector) OSTSlowdownFactor(target int, now float64) float64 {
+	if in == nil {
+		return 1
+	}
+	end, ok := in.slowEnd[target]
+	if !ok || now >= end || now < in.slowStart[target] {
+		return 1
+	}
+	start := in.slowStart[target]
+	peak := in.slowFac[target]
+	if peak <= 1 {
+		return 1
+	}
+	frac := (now - start) / (end - start)
+	switch in.slowProf[target] {
+	case ProfileDrip:
+		return 1 + (peak-1)*frac
+	case ProfileFlap:
+		if int(frac*8)%2 == 1 {
+			return 1
+		}
+		return peak
+	default: // ProfileStep
+		return peak
+	}
+}
+
+// NICDelaySeconds returns the gray per-message latency added to
+// messages leaving node at time now (0 when healthy). It stacks with
+// MsgDelaySeconds: a flaky NIC inside a hard delay window pays both.
+func (in *Injector) NICDelaySeconds(node int, now float64) float64 {
+	if in == nil {
+		return 0
+	}
+	if end, ok := in.nicEnd[node]; ok && now < end && now >= in.nicStart[node] {
+		return in.nicSec[node]
+	}
+	return 0
+}
+
+// TakeNICDrop reports whether a message leaving node at time now is
+// lost to its flaky NIC: while inside a flaky window, every k-th
+// message observed (deterministic query order) is dropped. Unlike
+// TakeDrop there is no fixed per-event budget — the burst lasts as long
+// as the window does.
+func (in *Injector) TakeNICDrop(node int, now float64) bool {
+	if in == nil {
+		return false
+	}
+	end, ok := in.nicEnd[node]
+	if !ok || now >= end || now < in.nicStart[node] {
+		return false
+	}
+	every := in.nicEvery[node]
+	if every <= 0 {
+		return false
+	}
+	in.nicSeen[node]++
+	return in.nicSeen[node]%every == 0
+}
+
+// MemLeakFraction returns the cumulative fraction of node's memory
+// budget lost to leaks by time now: each leak ramps linearly from 0 at
+// onset to its severity over its duration, contributions sum, and the
+// total clamps at 0.95 so a leaking node keeps a sliver of budget (the
+// leak is gray — the node never actually dies).
+func (in *Injector) MemLeakFraction(node int, now float64) float64 {
+	if in == nil {
+		return 0
+	}
+	total := 0.0
+	for _, ev := range in.leaks[node] {
+		if now <= ev.Time {
+			continue
+		}
+		frac := 1.0
+		if ev.Duration > 0 {
+			frac = (now - ev.Time) / ev.Duration
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		total += ev.Severity * frac
+	}
+	if total > 0.95 {
+		total = 0.95
+	}
+	return total
 }
 
 // Counts returns how many events of each kind have fired so far, keyed

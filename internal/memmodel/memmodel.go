@@ -250,6 +250,19 @@ func (t *Tracker) SetAvail(node int, bytes int64) {
 	}
 }
 
+// Budget returns a node's current total memory budget — remaining
+// availability plus booked reservations, floored at zero. Gradual
+// decay (a MemLeak fault) is applied against this: the leak fraction
+// scales the budget a leak-free run would have, independent of how
+// much of it is currently reserved.
+func (t *Tracker) Budget(node int) int64 {
+	b := t.avail[node] + t.reserved[node]
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
 // Collapse removes fraction (clamped to [0,1]) of a node's current
 // memory budget — the mid-operation availability collapse a co-resident
 // application causes — and returns the new budget. Reservations stay

@@ -132,6 +132,12 @@ type IOOp struct {
 	// the request/stream model — retry backoff or degraded-target
 	// penalties from fault injection. Zero for healthy accesses.
 	DelaySeconds float64
+	// Degraded marks a breaker fast-fail: the issuer did not wait on
+	// the target's normal service path (it streamed degraded instead,
+	// priced through DelaySeconds), so a gray target-slowdown
+	// multiplier does not apply — that waiting is exactly what the
+	// open breaker avoids.
+	Degraded bool
 }
 
 // Round kinds for blame attribution. A data round moves user bytes; a
@@ -286,6 +292,7 @@ type Engine struct {
 	aggsPer  map[int]int     // node -> active aggregator count
 	paged    map[int]float64 // node -> worst paging severity present
 	slowdown map[int]float64 // node -> straggler bandwidth divisor (> 1)
+	tgtSlow  map[int]float64 // target -> gray service-time multiplier (> 1)
 	totals   Totals
 	trace    []TraceEntry
 	eo       *engineObs
@@ -406,6 +413,7 @@ func NewEngine(mc machine.Config, st StorageParams, opt Options) (*Engine, error
 		aggsPer:   map[int]int{},
 		paged:     map[int]float64{},
 		slowdown:  map[int]float64{},
+		tgtSlow:   map[int]float64{},
 		totals:    Totals{PerNodeShuffle: map[int]int64{}},
 		scLoads:   map[int]*nodeLoad{},
 		scTargets: map[int]*targetLoad{},
@@ -464,6 +472,27 @@ func (e *Engine) SetNodePaged(node int, severity float64) {
 		severity = 1
 	}
 	e.paged[node] = severity
+}
+
+// SetTargetSlowdown declares a gray storage degradation: service time
+// for accesses to target is multiplied by factor until the next call.
+// Factor <= 1 clears it. The excess over healthy service time is
+// charged as injected delay, so blame attribution groups it with the
+// other fault-induced waiting rather than with honest streaming work.
+func (e *Engine) SetTargetSlowdown(target int, factor float64) {
+	if factor <= 1 {
+		delete(e.tgtSlow, target)
+		return
+	}
+	e.tgtSlow[target] = factor
+}
+
+// targetSlowdown returns target's gray service-time multiplier (1 = healthy).
+func (e *Engine) targetSlowdown(target int) float64 {
+	if f, ok := e.tgtSlow[target]; ok {
+		return f
+	}
+	return 1
 }
 
 // nodeSlowdown returns node's straggler bandwidth divisor (1 = healthy).
@@ -629,9 +658,17 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 		// buffer at degraded speed, throttling the storage access it
 		// drives; injected retry/degradation delay is charged on top.
 		unpaged := (e.st.ReqOverhead*float64(op.Requests) + stream) * e.nodeSlowdown(op.Node)
-		tl.time += unpaged*e.pagedSlowdown(op.Node) + op.DelaySeconds
+		delay := op.DelaySeconds
+		// A gray-degraded target serves every access slower; the excess
+		// over healthy service counts as fault delay, not honest work.
+		// Degraded (breaker fast-fail) accesses never waited on the
+		// slowed service path, so they skip the multiplier.
+		if f := e.targetSlowdown(op.Target); f > 1 && !op.Degraded {
+			delay += unpaged * (f - 1)
+		}
+		tl.time += unpaged*e.pagedSlowdown(op.Node) + delay
 		tl.pagedExcess += unpaged * (e.pagedSlowdown(op.Node) - 1)
-		tl.delay += op.DelaySeconds
+		tl.delay += delay
 		tl.bytes += op.Bytes
 		tl.requests += op.Requests
 		if !op.Contiguous {
