@@ -65,6 +65,21 @@
 //	mcio chaos gray -seed 1 -ops 10
 //	mcio chaos -gray -seed 1 -ops 10
 //
+// The profile subcommand runs one experiment with the sampling timeline
+// recorder attached and writes a time-resolved report: per-OST
+// busy/queue, per-NIC bytes, per-node memory-pressure and
+// staging-buffer series, with every journal event (fault onsets,
+// suspicion crossings, breaker transitions, failovers, degradation
+// rungs, hedges, repairs) overlaid, plus the saturation analysis —
+// which resource saturates first, and when. The HTML report is
+// self-contained (inline SVG, no JS) and byte-identical across reruns;
+// the gray experiment profiles the pinned gray-failure duel so the
+// onset -> suspicion -> breaker reaction chain lands on one timeline:
+//
+//	mcio profile fig6 -out timeline.html
+//	mcio profile gray -out gray.html -csv gray.csv
+//	mcio profile fig7 -tick 0.002
+//
 // -scale divides every byte quantity (1 = paper-exact sizes, slower);
 // -seed drives the availability variance and every fault schedule —
 // the same seed reproduces a faulted run byte for byte; -details adds
@@ -80,6 +95,7 @@ import (
 	"strings"
 
 	"mcio/internal/bench"
+	"mcio/internal/cliutil"
 	"mcio/internal/collio"
 	"mcio/internal/core"
 	"mcio/internal/machine"
@@ -87,6 +103,7 @@ import (
 	"mcio/internal/obs"
 	"mcio/internal/obs/analyze"
 	"mcio/internal/obs/history"
+	"mcio/internal/obs/timeline"
 	"mcio/internal/pfs"
 	"mcio/internal/twophase"
 )
@@ -99,7 +116,7 @@ import (
 func observe(args []string) error {
 	fs := flag.NewFlagSet("observe", flag.ExitOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mcio observe [fig6|fig7|fig8] [flags]")
+		fmt.Fprintln(os.Stderr, cliutil.ChoiceUsage("mcio", "observe", bench.ObserveFigures))
 		fs.PrintDefaults()
 	}
 	scale := fs.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
@@ -187,7 +204,7 @@ func observe(args []string) error {
 func runBench(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mcio bench [%s] [flags]\n", strings.Join(bench.LedgerExperiments, "|"))
+		fmt.Fprintln(os.Stderr, cliutil.ChoiceUsage("mcio", "bench", bench.LedgerExperiments))
 		fs.PrintDefaults()
 	}
 	scale := fs.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
@@ -298,6 +315,12 @@ func runTrend(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
+	// A drift slope needs at least two points; 0 keeps the "use the
+	// default" convention the flag documents, anything else below 2 is
+	// a usage error (exit 2), not a silent no-op gate.
+	if *minRuns != 0 && *minRuns < 2 {
+		return 2, fmt.Errorf("-min-runs %d is below 2: a drift slope needs at least two records (omit the flag for the default)", *minRuns)
+	}
 	if len(paths) == 0 {
 		return 2, fmt.Errorf("trend wants a history directory, globs or record files")
 	}
@@ -331,6 +354,9 @@ func runReport(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *minRuns != 0 && *minRuns < 2 {
+		return fmt.Errorf("-min-runs %d is below 2: a drift slope needs at least two records (omit the flag for the default)", *minRuns)
+	}
 	if len(paths) == 0 {
 		return fmt.Errorf("report wants a history directory, globs or record files")
 	}
@@ -359,7 +385,7 @@ func runReport(args []string, out io.Writer) error {
 func runChaos(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mcio chaos [%s] [flags]\n", strings.Join(bench.ChaosCampaigns, "|"))
+		fmt.Fprintln(os.Stderr, cliutil.ChoiceUsage("mcio", "chaos", bench.ChaosCampaigns))
 		fs.PrintDefaults()
 	}
 	seed := fs.Uint64("seed", 1, "campaign seed; the same seed reproduces the campaign byte for byte")
@@ -404,8 +430,7 @@ func runChaos(args []string, out io.Writer) (int, error) {
 			summary, violations, undetected = rep.String(), len(rep.Violations), rep.Undetected()
 		}
 	default:
-		return 2, fmt.Errorf("unknown chaos campaign %q (valid: %s)",
-			campaign, strings.Join(bench.ChaosCampaigns, ", "))
+		return 2, cliutil.UnknownChoice("chaos campaign", campaign, bench.ChaosCampaigns)
 	}
 	if err != nil {
 		return 2, err
@@ -428,6 +453,77 @@ func runChaos(args []string, out io.Writer) (int, error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// runProfile is the `mcio profile` subcommand: run one experiment with
+// the sampling timeline recorder attached and write the time-resolved
+// report — per-OST/per-NIC/per-node utilization lanes with the fault,
+// suspicion, breaker, failover and degradation events overlaid, plus
+// the saturation analysis. Experiment names come from
+// bench.ProfileExperiments, the same single-source pattern the other
+// subcommands use.
+func runProfile(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, cliutil.ChoiceUsage("mcio", "profile", bench.ProfileExperiments))
+		fs.PrintDefaults()
+	}
+	scale := fs.Int64("scale", bench.DefaultScale, "scale divisor for byte sizes (1 = paper-exact)")
+	seed := fs.Uint64("seed", 42, "seed for the availability variance and fault schedules")
+	mem := fs.Int("mem", 16, "paper-scale mean memory per aggregator, MB")
+	opName := fs.String("op", "write", "collective direction: write or read")
+	tick := fs.Float64("tick", 0, "initial sample tick, simulated seconds (0 = automatic; the recorder coarsens it to stay inside the sample budget)")
+	outPath := fs.String("out", "", "write the self-contained HTML timeline report here")
+	csvPath := fs.String("csv", "", "write every sample bin and journal event as CSV here")
+	name := bench.ProfileExperiments[0]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name = args[0]
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var op collio.Op
+	switch *opName {
+	case "write":
+		op = collio.Write
+	case "read":
+		op = collio.Read
+	default:
+		return fmt.Errorf("unknown op %q (want write or read)", *opName)
+	}
+	valid := false
+	for _, e := range bench.ProfileExperiments {
+		if name == e {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return cliutil.UnknownChoice("profile experiment", name, bench.ProfileExperiments)
+	}
+	res, err := bench.Profile(name, *scale, *seed, *mem, op, *tick)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Summary)
+	if *outPath != "" {
+		if err := writeFile(*outPath, func(f *os.File) error {
+			return timeline.WriteReport(f, res.Rec, res.Sat)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote timeline %s\n", *outPath)
+	}
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(f *os.File) error {
+			return timeline.WriteCSV(f, res.Rec)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote samples %s\n", *csvPath)
+	}
+	return nil
 }
 
 // parseInterleaved parses fs over args accepting flags and positional
@@ -521,6 +617,12 @@ func main() {
 				fmt.Fprintln(os.Stderr, "mcio chaos:", err)
 			}
 			os.Exit(code)
+		case "profile":
+			if err := runProfile(os.Args[2:], os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "mcio profile:", err)
+				os.Exit(1)
+			}
+			return
 		}
 	}
 	exp := flag.String("exp", "all", expUsage())
@@ -693,7 +795,7 @@ func fig2(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "  phase 1 (I/O): each aggregator reads its file domain in buffer-sized rounds")
 	fmt.Fprintln(w, "  phase 2 (communication): aggregators scatter the data to the requesting processes")
-	fmt.Fprintln(w, )
+	fmt.Fprintln(w)
 	return nil
 }
 
@@ -731,7 +833,7 @@ func fig4(w io.Writer) error {
 		fmt.Fprintf(w, "  group %d: file [%d..%d) members %s (node boundary respected)\n",
 			g.Index, g.Region.Offset, g.Region.End(), strings.Join(ranks, " "))
 	}
-	fmt.Fprintln(w, )
+	fmt.Fprintln(w)
 	return nil
 }
 
@@ -772,7 +874,7 @@ func fig5(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "  after removal, the DFS-adjacent leaf of the sibling subtree absorbs it:")
 	show(t5b)
-	fmt.Fprintln(w, )
+	fmt.Fprintln(w)
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"mcio/internal/machine"
 	"mcio/internal/mpi"
 	"mcio/internal/obs"
+	"mcio/internal/obs/timeline"
 	"mcio/internal/pfs"
 	"mcio/internal/stats"
 )
@@ -32,6 +33,10 @@ type ChaosConfig struct {
 	// Obs, when non-nil, receives the campaign counters (chaos.*,
 	// integrity.*) and the planners' metrics.
 	Obs *obs.Observer
+	// Timeline, when non-nil, receives a sequence-ordered journal entry
+	// per op that detected corruption (the integrity layer is
+	// concurrent, so per-incident simulated timestamps do not exist).
+	Timeline *timeline.Recorder
 }
 
 // ChaosReport is the outcome of a campaign: what was injected, what the
@@ -39,19 +44,19 @@ type ChaosConfig struct {
 // and every invariant violation found (an empty Violations list is the
 // pass condition).
 type ChaosReport struct {
-	Ops             int
-	CollectiveOps   int // ops that ran the full aggregation path
-	ShrunkOps       int // ops placed only after shrinking the appetite
-	IndependentOps  int // ops that fell back to independent I/O
-	InjectedFlips   int
-	InjectedTorn    int
-	Detected        int64
-	Repaired        int64
-	Unrepaired      int64
-	RewrittenBytes  int64
-	SumsStamped     int64
-	SumsVerified    int64
-	Violations      []string
+	Ops            int
+	CollectiveOps  int // ops that ran the full aggregation path
+	ShrunkOps      int // ops placed only after shrinking the appetite
+	IndependentOps int // ops that fell back to independent I/O
+	InjectedFlips  int
+	InjectedTorn   int
+	Detected       int64
+	Repaired       int64
+	Unrepaired     int64
+	RewrittenBytes int64
+	SumsStamped    int64
+	SumsVerified   int64
+	Violations     []string
 }
 
 // Injected returns the total corruptions actually injected.
@@ -333,6 +338,7 @@ func Chaos(cfg ChaosConfig) (*ChaosReport, error) {
 		}
 
 		crep := chk.Report()
+		crep.JournalInto(cfg.Timeline.J(), fmt.Sprintf("op %d", op))
 		injected := corr.Injected()
 
 		// Invariant: every injected corruption is detected — the torn-write

@@ -13,6 +13,7 @@ import (
 	"mcio/internal/machine"
 	"mcio/internal/mpi"
 	"mcio/internal/obs"
+	"mcio/internal/obs/timeline"
 	"mcio/internal/pfs"
 	"mcio/internal/sim"
 	"mcio/internal/stats"
@@ -47,6 +48,10 @@ type GrayConfig struct {
 	// protocol), so Repair=false reduces the byte-level section to pure
 	// detection accounting.
 	Repair bool
+	// Timeline, when non-nil, records the pinned duel's adaptive run —
+	// utilization series plus the fault/suspicion/breaker journal — so
+	// `mcio profile gray` can render onset → detection → reaction.
+	Timeline *timeline.Recorder
 	// Obs, when non-nil, receives the campaign counters (chaos.gray_*,
 	// health.*, integrity.*) and the planners' metrics.
 	Obs *obs.Observer
@@ -78,6 +83,12 @@ type GrayReport struct {
 	// host on a fixed machine. The adaptive run must be strictly faster.
 	DuelStaticSeconds   float64
 	DuelAdaptiveSeconds float64
+	// Detection-lag decomposition of the duel's slowed OST, from its
+	// timeline journal: fault onset → first suspicion crossing → first
+	// reaction (breaker open), in simulated seconds. -1 marks a stage
+	// that never fired (itself a violation — the duel must detect).
+	DuelOnsetToSuspectSeconds  float64
+	DuelOnsetToReactionSeconds float64
 
 	// Byte-level hedged-execution accounting.
 	InjectedFlips     int
@@ -115,6 +126,8 @@ func (r *GrayReport) String() string {
 		r.HedgedMessages, r.HedgedBytes, r.DedupedBytes, r.HedgedChunks, r.DedupedChunkBytes)
 	fmt.Fprintf(&b, "gray load: %d flaky drops, %d leaked nodes\n", r.FlakyDrops, r.LeakedNodes)
 	fmt.Fprintf(&b, "duel: static %.4fs vs adaptive %.4fs\n", r.DuelStaticSeconds, r.DuelAdaptiveSeconds)
+	fmt.Fprintf(&b, "duel detection lag: onset->suspect %.4fs, onset->reaction %.4fs\n",
+		r.DuelOnsetToSuspectSeconds, r.DuelOnsetToReactionSeconds)
 	fmt.Fprintf(&b, "corruptions: %d injected (%d bit flips, %d torn writes), %d detected, %d repaired, %d unrepaired, %d undetected\n",
 		r.Injected(), r.InjectedFlips, r.InjectedTorn, r.Detected, r.Repaired, r.Unrepaired, r.Undetected())
 	if len(r.Violations) == 0 {
@@ -324,7 +337,7 @@ func Gray(cfg GrayConfig) (*GrayReport, error) {
 		fail(-1, "hedged execution never engaged across %d ops", cfg.Ops)
 	}
 
-	if err := grayDuel(rep, fail); err != nil {
+	if err := grayDuel(rep, fail, cfg.Timeline); err != nil {
 		return nil, err
 	}
 
@@ -435,6 +448,7 @@ func grayExecOp(ctx *collio.Context, s *core.Strategy, fsys *pfs.FileSystem,
 	}
 
 	crep := chk.Report()
+	crep.JournalInto(cfg.Timeline.J(), fmt.Sprintf("op %d", op))
 	injected := corr.Injected()
 	// Invariant: every injected corruption is detected — including
 	// fresh flips landing on hedged duplicates.
@@ -478,7 +492,16 @@ func grayExecOp(ctx *collio.Context, s *core.Strategy, fsys *pfs.FileSystem,
 // detector has a healthy baseline. The adaptive run must move the same
 // user bytes, raise suspicion, fail over proactively, and finish in
 // strictly less simulated time than the static retry-only baseline.
-func grayDuel(rep *GrayReport, fail func(int, string, ...any)) error {
+//
+// The adaptive run always records into a timeline (the caller's rec,
+// or a private one): the slowed OST's journal yields the onset →
+// suspicion → reaction detection-lag decomposition the report and the
+// ledger carry. The static run never records, so the overlay shows
+// exactly what the adaptive policy saw and did.
+func grayDuel(rep *GrayReport, fail func(int, string, ...any), rec *timeline.Recorder) error {
+	if rec == nil {
+		rec = timeline.NewRecorder(0, 0)
+	}
 	topo, err := mpi.BlockTopology(12, 3)
 	if err != nil {
 		return err
@@ -517,7 +540,13 @@ func grayDuel(rep *GrayReport, fail func(int, string, ...any)) error {
 	spec := faults.DefaultSpec(11, horizon).WithRate(0)
 
 	run := func(ad *collio.Adaptive) (*collio.FaultResult, error) {
-		plan, state, err := s.PlanWithState(ctx, reqs)
+		// Only the adaptive run records: a shallow context copy keeps
+		// the static baseline recorder-free without sharing state.
+		cctx := *ctx
+		if ad != nil {
+			cctx.Timeline = rec
+		}
+		plan, state, err := s.PlanWithState(&cctx, reqs)
 		if err != nil {
 			return nil, err
 		}
@@ -531,9 +560,9 @@ func grayDuel(rep *GrayReport, fail func(int, string, ...any)) error {
 		inj := faults.NewInjector(sched)
 		handler := &core.Failover{State: state, Detect: spec.DetectSeconds}
 		if ad == nil {
-			return collio.CostWithFaults(ctx, plan, reqs, collio.Write, sim.DefaultOptions(), inj, handler)
+			return collio.CostWithFaults(&cctx, plan, reqs, collio.Write, sim.DefaultOptions(), inj, handler)
 		}
-		return collio.CostAdaptive(ctx, plan, reqs, collio.Write, sim.DefaultOptions(), inj, handler, ad)
+		return collio.CostAdaptive(&cctx, plan, reqs, collio.Write, sim.DefaultOptions(), inj, handler, ad)
 	}
 
 	static, err := run(nil)
@@ -546,6 +575,17 @@ func grayDuel(rep *GrayReport, fail func(int, string, ...any)) error {
 	}
 	rep.DuelStaticSeconds = static.Seconds
 	rep.DuelAdaptiveSeconds = adaptive.Seconds
+	rep.DuelOnsetToSuspectSeconds, rep.DuelOnsetToReactionSeconds = -1, -1
+	for _, l := range timeline.DetectionLags(rec.J().Events()) {
+		if l.Entity == timeline.Ent("ost", 0) {
+			rep.DuelOnsetToSuspectSeconds = l.OnsetToSuspect()
+			rep.DuelOnsetToReactionSeconds = l.OnsetToReact()
+		}
+	}
+	if rep.DuelOnsetToSuspectSeconds < 0 || rep.DuelOnsetToReactionSeconds < 0 {
+		fail(-1, "duel detection lag unmeasurable: onset->suspect %.4g, onset->reaction %.4g",
+			rep.DuelOnsetToSuspectSeconds, rep.DuelOnsetToReactionSeconds)
+	}
 	rep.SuspectEvents += adaptive.SuspectEvents
 	rep.ProactiveFailovers += adaptive.ProactiveFailovers
 	rep.BreakerOpens += adaptive.BreakerOpens

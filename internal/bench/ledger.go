@@ -202,6 +202,10 @@ func grayEntries(rep *GrayReport) []obs.RunEntry {
 			"adaptive_seconds": rep.DuelAdaptiveSeconds,
 			"violations":       float64(len(rep.Violations)),
 		}},
+		{Name: "gray/latency", Metrics: map[string]float64{
+			"onset_to_suspect_seconds":  rep.DuelOnsetToSuspectSeconds,
+			"onset_to_reaction_seconds": rep.DuelOnsetToReactionSeconds,
+		}},
 	}
 }
 

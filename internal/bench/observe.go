@@ -14,6 +14,11 @@ import (
 	"mcio/internal/twophase"
 )
 
+// ObserveFigures lists the figure workloads Observe can instrument, in
+// display order — the single source of truth for the `mcio observe`
+// usage text and the unknown-figure error.
+var ObserveFigures = []string{"fig6", "fig7", "fig8"}
+
 // ObserveResult is one instrumented run of a figure workload: both
 // strategies planned and priced with a shared Observer collecting metrics
 // and simulated-time spans, plus a human-readable summary.
@@ -57,7 +62,8 @@ func Observe(figure string, scale int64, seed uint64, memMB int, op collio.Op) (
 		cfg = Fig8Config(scale, seed)
 		wl, name = Fig8Workload(cfg)
 	default:
-		return nil, fmt.Errorf("bench: Observe knows fig6, fig7, fig8; not %q", figure)
+		return nil, fmt.Errorf("bench: Observe knows %s; not %q",
+			strings.Join(ObserveFigures, ", "), figure)
 	}
 	cfg.MemMB = []int{memMB}
 	reqs, err := wl.Requests()

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mcio/internal/collio"
+	"mcio/internal/core"
+	"mcio/internal/obs/timeline"
+	"mcio/internal/sim"
+	"mcio/internal/stats"
+)
+
+// ProfileExperiments lists every `mcio profile` experiment, in display
+// order — the single source of truth for the subcommand's usage text
+// and its unknown-experiment error.
+var ProfileExperiments = []string{"fig6", "fig7", "fig8", "gray"}
+
+// ProfileResult is one time-resolved profiling run: the recorder
+// holding every utilization series and journal event, the saturation
+// analysis over it, and a text summary.
+type ProfileResult struct {
+	Rec     *timeline.Recorder
+	Sat     *timeline.SatReport
+	Summary string
+}
+
+// Profile runs one experiment with a timeline recorder attached and
+// analyzes the result. The figure experiments (fig6, fig7, fig8) price
+// the memory-conscious strategy on the figure's workload — one clean
+// run, profiled down to per-OST, per-NIC and per-node utilization.
+// "gray" runs the pinned gray-failure duel instead: the recorder
+// rides the adaptive run, so the report shows the OSTSlowdown onset,
+// the suspicion crossing and the breaker reaction on one timeline.
+//
+// tick is the initial sample tick in simulated seconds (0 picks the
+// recorder default); memMB as in Observe. Deterministic: the same
+// arguments always produce a byte-identical recorder, so reports
+// built from it diff clean across reruns.
+func Profile(name string, scale int64, seed uint64, memMB int, op collio.Op, tick float64) (*ProfileResult, error) {
+	rec := timeline.NewRecorder(tick, 0)
+	var summary strings.Builder
+	switch name {
+	case "fig6", "fig7", "fig8":
+		if err := profileFigure(rec, name, scale, seed, memMB, op, &summary); err != nil {
+			return nil, err
+		}
+	case "gray":
+		if err := profileGray(rec, &summary); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("bench: Profile knows %s; not %q",
+			strings.Join(ProfileExperiments, ", "), name)
+	}
+	sat := timeline.Analyze(rec, timeline.SatOptions{})
+	summary.WriteString(sat.Render())
+	lags := timeline.DetectionLags(rec.J().Events())
+	for _, l := range lags {
+		fmt.Fprintf(&summary, "detection lag %s: onset %.4gs", l.Entity, l.Onset)
+		if s := l.OnsetToSuspect(); s >= 0 {
+			fmt.Fprintf(&summary, ", suspect +%.4gs", s)
+		}
+		if r := l.OnsetToReact(); r >= 0 {
+			fmt.Fprintf(&summary, ", reaction +%.4gs", r)
+		}
+		summary.WriteString("\n")
+	}
+	return &ProfileResult{Rec: rec, Sat: sat, Summary: summary.String()}, nil
+}
+
+// profileFigure prices the memory-conscious strategy on one figure
+// workload with the recorder attached. Only one strategy runs: a
+// timeline is a per-run artifact, and the memory-conscious run is the
+// one whose saturation behavior the paper's placement reasons about.
+func profileFigure(rec *timeline.Recorder, figure string, scale int64, seed uint64,
+	memMB int, op collio.Op, summary *strings.Builder) error {
+	if memMB <= 0 {
+		memMB = 16
+	}
+	var (
+		cfg  Config
+		wl   Workload
+		name string
+		err  error
+	)
+	switch figure {
+	case "fig6":
+		cfg = Fig6Config(scale, seed)
+		wl, name, err = Fig6Workload(cfg)
+		if err != nil {
+			return err
+		}
+	case "fig7":
+		cfg = Fig7Config(scale, seed)
+		wl, name = Fig7Workload(cfg)
+	default:
+		cfg = Fig8Config(scale, seed)
+		wl, name = Fig8Workload(cfg)
+	}
+	cfg.MemMB = []int{memMB}
+	reqs, err := wl.Requests()
+	if err != nil {
+		return err
+	}
+	nodes := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
+	r := stats.NewRNG(cfg.Seed)
+	zs := make([]float64, nodes)
+	for i := range zs {
+		zs[i] = r.Normal(0, 1)
+	}
+	ctx, err := cfg.context(cfg.scaled(int64(memMB)*MB), zs, wl.TotalBytes())
+	if err != nil {
+		return err
+	}
+	ctx.Timeline = rec
+	opt := sim.DefaultOptions()
+	opt.Overlap = cfg.Overlap
+
+	s := core.New()
+	plan, err := s.Plan(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	res, err := collio.Cost(ctx, plan, reqs, op, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(summary, "profile %s: %s, %s, %d MB per aggregator\n", figure, name, op, memMB)
+	fmt.Fprintf(summary, "%s: %d domains, %.4fs simulated (%.1f MB/s)\n",
+		s.Name(), len(plan.Domains), res.Seconds,
+		float64(wl.TotalBytes())/res.Seconds/1e6)
+	return nil
+}
+
+// profileGray runs the pinned gray-failure duel with the recorder on
+// the adaptive run. Duel violations surface in the summary rather than
+// as errors — a profile of a failing duel is more useful than no
+// profile.
+func profileGray(rec *timeline.Recorder, summary *strings.Builder) error {
+	rep := &GrayReport{}
+	fail := func(op int, format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+	if err := grayDuel(rep, fail, rec); err != nil {
+		return err
+	}
+	rec.SetMeta("experiment", "gray-duel")
+	fmt.Fprintf(summary, "profile gray: pinned duel, static %.4fs vs adaptive %.4fs\n",
+		rep.DuelStaticSeconds, rep.DuelAdaptiveSeconds)
+	fmt.Fprintf(summary, "duel detection lag: onset->suspect %.4fs, onset->reaction %.4fs\n",
+		rep.DuelOnsetToSuspectSeconds, rep.DuelOnsetToReactionSeconds)
+	for _, v := range rep.Violations {
+		fmt.Fprintf(summary, "violation: %s\n", v)
+	}
+	return nil
+}

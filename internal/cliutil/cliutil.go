@@ -12,6 +12,20 @@ import (
 	"mcio/internal/stats"
 )
 
+// ChoiceUsage renders the one-line usage banner for a subcommand that
+// takes one choice from a fixed list — the single-source pattern the
+// bench/observe/chaos/profile subcommands share, so adding a campaign
+// or experiment updates the usage text automatically.
+func ChoiceUsage(prog, sub string, choices []string) string {
+	return fmt.Sprintf("usage: %s %s [%s] [flags]", prog, sub, strings.Join(choices, "|"))
+}
+
+// UnknownChoice renders the matching unknown-choice error, listing the
+// valid values from the same slice the usage banner came from.
+func UnknownChoice(what, got string, choices []string) error {
+	return fmt.Errorf("unknown %s %q (valid: %s)", what, got, strings.Join(choices, ", "))
+}
+
 // ParseSize parses "64k", "4m", "1g", "16MB", "512B" (binary units) or
 // plain bytes.
 func ParseSize(s string) (int64, error) {

@@ -6,6 +6,22 @@ import (
 	"mcio/internal/machine"
 )
 
+func TestChoiceUsage(t *testing.T) {
+	got := ChoiceUsage("mcio", "chaos", []string{"corruption", "gray"})
+	want := "usage: mcio chaos [corruption|gray] [flags]"
+	if got != want {
+		t.Errorf("ChoiceUsage = %q, want %q", got, want)
+	}
+}
+
+func TestUnknownChoice(t *testing.T) {
+	err := UnknownChoice("chaos campaign", "blue", []string{"corruption", "gray"})
+	want := `unknown chaos campaign "blue" (valid: corruption, gray)`
+	if err == nil || err.Error() != want {
+		t.Errorf("UnknownChoice = %v, want %q", err, want)
+	}
+}
+
 func TestParseSize(t *testing.T) {
 	cases := map[string]int64{
 		"1":    1,

@@ -26,6 +26,7 @@ import (
 	"mcio/internal/machine"
 	"mcio/internal/mpi"
 	"mcio/internal/obs"
+	"mcio/internal/obs/timeline"
 	"mcio/internal/pfs"
 )
 
@@ -123,6 +124,13 @@ type Context struct {
 	// per-round timeline and traffic counters, Exec wires the mpi runtime.
 	// Nil disables observability at near-zero cost.
 	Obs *obs.Observer
+	// Timeline, when non-nil, receives time-resolved utilization series
+	// and journal events from pricing: per-node and per-target busy
+	// fractions from the engine, buffer-occupancy and memory-pressure
+	// gauges, and fault/suspicion/breaker/failover events. Recording is
+	// pure observation — costs are identical with or without it. Nil
+	// (the default) disables profiling.
+	Timeline *timeline.Recorder
 }
 
 // Validate reports an error when the context is internally inconsistent.

@@ -128,6 +128,8 @@ func Cost(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Options) 
 		}
 	}
 	eng.SetAggregators(placements)
+	tlAttach(ctx, eng, plan, op)
+	tlBufferGauges(ctx, plan.Domains, 0)
 
 	// Metadata exchange: within each group, every member rank ships its
 	// flattened offset/length list to each of the group's aggregators.

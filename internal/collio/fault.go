@@ -7,6 +7,7 @@ import (
 
 	"mcio/internal/faults"
 	"mcio/internal/obs"
+	"mcio/internal/obs/timeline"
 	"mcio/internal/pfs"
 	"mcio/internal/sim"
 	"mcio/internal/stats"
@@ -305,6 +306,9 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 		}
 	}
 	eng.SetAggregators(placements)
+	tlAttach(ctx, eng, plan, op)
+	tlBufferGauges(ctx, plan.Domains, 0)
+	tlr := ctx.Timeline
 
 	// Metadata exchange, identical to Cost.
 	extCount := make(map[int]int, len(reqs))
@@ -404,6 +408,10 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 	// lawfully decline a proactive move — e.g. no live host to take the
 	// work — in which case nothing changes and nothing is charged).
 	handleHostEvent := func(ev faults.Event, proactive bool) (int, error) {
+		evKind := timeline.EvFailover
+		if proactive {
+			evKind = timeline.EvProactive
+		}
 		// Which items (and through them, live domains) lose their host?
 		var affectedItems []int
 		domainSet := map[int]bool{}
@@ -489,6 +497,11 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 					return 0, err
 				}
 				res.Failovers++
+				if tlr != nil {
+					tlr.J().Record(ev.Time, evKind, timeline.Ent("node", ev.Node),
+						fmt.Sprintf("domain %d merged into %d (node %d)",
+							ra.Domain, ra.MergeInto, live[ra.MergeInto].AggNode))
+				}
 				continue
 			}
 			moved := live[ra.Domain].AggNode != ra.AggNode
@@ -503,9 +516,16 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 			if moved || bufChanged {
 				refold(ra.Domain, ra.Domain, moved)
 				res.Failovers++
+				if tlr != nil {
+					tlr.J().Record(ev.Time, evKind, timeline.Ent("node", ev.Node),
+						fmt.Sprintf("domain %d re-placed on node %d", ra.Domain, ra.AggNode))
+				}
 			} else {
 				res.Stalls++
 			}
+		}
+		if len(ras) > 0 {
+			tlBufferGauges(ctx, live, ev.Time)
 		}
 		if stall > 0 {
 			eng.AddRecoveryLatency(stall, ev.Kind.String())
@@ -524,6 +544,11 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 	for {
 		now := eng.Elapsed()
 		for _, ev := range inj.Advance(now) {
+			if tlr != nil {
+				// The event's own schedule time, not the round boundary
+				// that discovered it: detection lag is measured from here.
+				tlr.J().Record(ev.Time, timeline.EvFault, ev.EntityLabel(), ev.Describe())
+			}
 			if ev.Kind != faults.NodeCrash && ev.Kind != faults.MemCollapse {
 				continue
 			}
@@ -550,6 +575,9 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 				res.LeakedNodes++
 			}
 			leakFrac[n] = frac
+			if tlr != nil {
+				tlr.AddGauge(timeline.Ent("node", n), "leak_frac", now, frac)
+			}
 			var sev float64
 			if mh, ok := handler.(MemDecayHandler); ok {
 				sev = mh.OnMemDecay(n, frac)
@@ -575,17 +603,23 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 				unit = 0.01
 			}
 			for t := 0; t < ctx.FS.Targets; t++ {
+				wasSus := ad.Detector.Suspected("ost", t)
 				if ad.Detector.Observe("ost", t, inj.OSTSlowdownFactor(t, now)) {
 					// Every round a target stays suspected is one suspicion
 					// event against its breaker — the Nth opens it.
+					before := ad.Breakers.State(t)
 					ad.Breakers.OnFailure(t, now)
+					tlBreakerEvent(tlr, before, ad.Breakers.State(t), t, now)
 				}
+				tlSuspicion(tlr, ad.Detector, "ost", t, wasSus, now)
 			}
 			for n := 0; n < nodes; n++ {
 				sig := inj.NodeSlowdown(n, now) +
 					(inj.MsgDelaySeconds(n, now)+inj.NICDelaySeconds(n, now))/unit +
 					4*leakSev[n]
+				wasSus := ad.Detector.Suspected("node", n)
 				ad.Detector.Observe("node", n, sig)
+				tlSuspicion(tlr, ad.Detector, "node", n, wasSus, now)
 			}
 			if ad.Proactive {
 				for _, n := range ad.Detector.SuspectedIDs("node") {
@@ -666,6 +700,10 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 							res.HedgedMessages++
 							res.HedgedBytes += m.Bytes
 							res.DedupedBytes += m.Bytes
+							if tlr != nil {
+								tlr.J().Record(now, timeline.EvHedge, timeline.Ent("node", m.SrcNode),
+									fmt.Sprintf("%d bytes re-requested", m.Bytes))
+							}
 						}
 					}
 					extraLat += charged
@@ -696,13 +734,25 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 					round.Messages = append(round.Messages, m)
 					extraLat += spec.DropTimeoutSeconds
 					res.CorruptedMessages++
+					if tlr != nil {
+						tlr.J().Record(now, timeline.EvRepair, timeline.Ent("node", m.SrcNode),
+							fmt.Sprintf("corrupted message re-requested (%d bytes)", m.Bytes))
+					}
 				}
 				round.Messages = append(round.Messages, m)
 			}
 			idx := (s + it.rot) % it.rounds
 			slice := pfs.SliceData(it.base, int64(idx)*it.buf, it.buf)
 			for _, acc := range ctx.FS.MapExtents(slice) {
-				if ad != nil && !ad.Breakers.Allow(acc.Target, now) {
+				fastFail := false
+				if ad != nil {
+					// Allow may move the breaker Open -> HalfOpen at the
+					// probe deadline; the state diff journals it.
+					before := ad.Breakers.State(acc.Target)
+					fastFail = !ad.Breakers.Allow(acc.Target, now)
+					tlBreakerEvent(tlr, before, ad.Breakers.State(acc.Target), acc.Target, now)
+				}
+				if fastFail {
 					// Open breaker: fail fast into degraded service. The
 					// access skips the retry ladder entirely and pays only
 					// the degraded streaming factor — the whole point of
@@ -720,6 +770,10 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 					if op == Write && inj.TakeTornWrite(acc.Target) {
 						torn = 1
 						res.TornWrites++
+						if tlr != nil {
+							tlr.J().Record(now, timeline.EvRepair, timeline.Ent("ost", acc.Target),
+								"torn write re-issued")
+						}
 					}
 					round.IOOps = append(round.IOOps, sim.IOOp{
 						Target:       acc.Target,
@@ -744,6 +798,7 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 				}
 				res.StorageRetries += retries
 				if ad != nil {
+					before := ad.Breakers.State(acc.Target)
 					if retries > 0 {
 						ad.Breakers.OnFailure(acc.Target, now)
 					} else if !inj.OSTWindowActive(acc.Target, now) &&
@@ -754,6 +809,7 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 						// accesses that merely completed (slowly).
 						ad.Breakers.OnSuccess(acc.Target, now)
 					}
+					tlBreakerEvent(tlr, before, ad.Breakers.State(acc.Target), acc.Target, now)
 				}
 				torn := 0
 				if op == Write && inj.TakeTornWrite(acc.Target) {
@@ -761,6 +817,10 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 					// and re-issued: one extra request on the target.
 					torn = 1
 					res.TornWrites++
+					if tlr != nil {
+						tlr.J().Record(now, timeline.EvRepair, timeline.Ent("ost", acc.Target),
+							"torn write re-issued")
+					}
 				}
 				round.IOOps = append(round.IOOps, sim.IOOp{
 					Target:       acc.Target,

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"strconv"
 
 	"mcio/internal/collio"
 	"mcio/internal/health"
 	"mcio/internal/obs"
+	"mcio/internal/obs/timeline"
 )
 
 // RungIndependent is the rung number the controller reports for the
@@ -82,6 +84,10 @@ func (dc *DegradationController) Plan(ctx *collio.Context, reqs []collio.RankReq
 		dc.transitions = append(dc.transitions, RungTransition{
 			Seq: len(dc.transitions), From: from, To: rung, Suspected: masked,
 		})
+		// Planning has no simulated clock, so the journal entry is
+		// sequence-ordered only.
+		ctx.Timeline.J().RecordSeq(timeline.EvRung, "run",
+			fmt.Sprintf("rung %d -> %d (%d nodes suspected)", from, rung, masked))
 		if ctx.Obs != nil {
 			ctx.Obs.Counter("plan.rung_transitions",
 				obs.L("strategy", dc.Strategy.Name()),

@@ -157,6 +157,35 @@ type Event struct {
 	Profile Profile
 }
 
+// EntityLabel returns the timeline entity the event acts on: "ost N"
+// for storage-target kinds, "node N" otherwise. The format matches
+// timeline.Ent so journal overlays line up with utilization lanes.
+func (e Event) EntityLabel() string {
+	switch e.Kind {
+	case OSTTransient, OSTPermanent, TornWrite, OSTSlowdown:
+		return fmt.Sprintf("ost %d", e.Target)
+	default:
+		return fmt.Sprintf("node %d", e.Node)
+	}
+}
+
+// Describe renders the event for journals and reports: kind plus the
+// parameters that shape it.
+func (e Event) Describe() string {
+	d := e.Kind.String()
+	if e.Severity != 0 {
+		d += fmt.Sprintf(" sev %.3g", e.Severity)
+	}
+	if e.Duration > 0 {
+		d += fmt.Sprintf(" for %.3gs", e.Duration)
+	}
+	switch e.Kind {
+	case OSTSlowdown, NICFlaky:
+		d += " (" + e.Profile.String() + ")"
+	}
+	return d
+}
+
 // Spec declares the fault environment. All MTBF fields are mean time
 // between failures per entity in simulated seconds; zero disables that
 // kind entirely. Horizon bounds the schedule: no event is generated at

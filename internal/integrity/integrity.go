@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"mcio/internal/obs"
+	"mcio/internal/obs/timeline"
 	"mcio/internal/pfs"
 )
 
@@ -304,6 +305,18 @@ func (c *Checker) Report() Report {
 func (r Report) String() string {
 	return fmt.Sprintf("stamped %d, verified %d, detected %d, repaired %d, unrepaired %d, rewritten %d B",
 		r.Stamped, r.Verified, r.Detected, r.Repaired, r.Unrepaired, r.RewrittenBytes)
+}
+
+// JournalInto records the report as one unstamped repair event in the
+// journal. The checker's counters move concurrently across execution
+// goroutines, so per-incident timestamps would not be deterministic —
+// the end-of-run summary is. Quiet reports (nothing detected) journal
+// nothing.
+func (r Report) JournalInto(j *timeline.Journal, entity string) {
+	if r.Detected == 0 && r.Repaired == 0 && r.Unrepaired == 0 {
+		return
+	}
+	j.RecordSeq(timeline.EvRepair, entity, r.String())
 }
 
 // EncodeSums serializes sums for a shuffle side-channel message

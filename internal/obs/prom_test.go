@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -52,6 +53,43 @@ func TestWriteMetricsPromDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Error("two identical registries produced different prom output")
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	// The exposition format escapes exactly backslash, newline and double
+	// quote inside label values — and backslash must be escaped first, or
+	// the escapes of the other two get double-escaped.
+	cases := map[string]string{
+		`plain`:          `plain`,
+		`back\slash`:     `back\\slash`,
+		"new\nline":      `new\nline`,
+		`quo"te`:         `quo\"te`,
+		`\` + "\n" + `"`: `\\\n\"`,
+		`already\n`:      `already\\n`, // literal backslash-n stays two chars
+	}
+	for in, want := range cases {
+		if got := promEscape(in); got != want {
+			t.Errorf("promEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromLabelValueEscaping(t *testing.T) {
+	// End to end: a label value holding all three special characters
+	// must come out as a single parseable exposition line.
+	r := NewRegistry()
+	r.Counter("x.total", L("path", "a\\b\"c\nd")).Add(1)
+	var buf bytes.Buffer
+	if err := WriteMetricsProm(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	want := "x_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition output %q missing escaped series %q", buf.String(), want)
+	}
+	if strings.Contains(buf.String(), "\nd\"}") {
+		t.Error("raw newline leaked into a label value")
 	}
 }
 

@@ -15,6 +15,29 @@ func TestQuantileEmptyAndNil(t *testing.T) {
 	}
 }
 
+func TestQuantileZeroWidthBucket(t *testing.T) {
+	// When every observation is the same value the observed range has
+	// zero width (min == max), including the degenerate all-zero case
+	// where interpolation inside bucket 0 would otherwise invent a
+	// positive value. Property: for any p the quantile is exactly that
+	// value — never NaN, never outside the range.
+	for _, v := range []float64{0, 0.125, 1, 3.5, 1e-300, 1e12} {
+		h := newHistogram()
+		for i := 0; i < 17; i++ {
+			h.Observe(v)
+		}
+		for p := 0.0; p <= 1.0; p += 0.01 {
+			got := h.Quantile(p)
+			if math.IsNaN(got) {
+				t.Fatalf("v=%g p=%v: quantile is NaN", v, p)
+			}
+			if got != v {
+				t.Fatalf("v=%g p=%v: quantile = %v, want exactly that value", v, p, got)
+			}
+		}
+	}
+}
+
 func TestQuantileEndpoints(t *testing.T) {
 	h := newHistogram()
 	for _, v := range []float64{0.1, 0.2, 0.4, 0.8} {

@@ -1,0 +1,330 @@
+package timeline
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Lane geometry: every series renders as one fixed-size SVG lane so
+// the report needs no JavaScript and stays byte-identical across
+// reruns (all coordinates are fixed-precision).
+const (
+	laneW   = 640
+	laneH   = 44
+	lanePad = 4
+)
+
+// maxLanes bounds the rendered series lanes (an exascale run has
+// thousands of entities); the report states how many were omitted —
+// a silent cap would read as "covered everything".
+const maxLanes = 160
+
+// maxEventRows bounds the event table the same way.
+const maxEventRows = 400
+
+// WriteReport renders the recorded timelines, the event overlay and
+// the saturation analysis as one fully self-contained HTML page: no
+// JavaScript, no external assets, every plot an inline SVG. The output
+// is a pure function of the recorder's contents — byte-identical
+// across reruns — so CI can diff it and archive it as an artifact.
+func WriteReport(w io.Writer, rec *Recorder, sat *SatReport) error {
+	b := &strings.Builder{}
+	writeHead(b)
+	views := rec.Snapshot()
+	events := rec.J().Events()
+	writeSummary(b, rec, views, events)
+	writeSaturation(b, sat)
+	writeLanes(b, rec, views, events)
+	writeEventTable(b, events)
+	b.WriteString("</body>\n</html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHead emits the embedded stylesheet, following the obs/history
+// report conventions: role-based custom properties with a dark scheme
+// via prefers-color-scheme, everything under .viz-root.
+func writeHead(b *strings.Builder) {
+	b.WriteString(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>mcio timeline</title>
+<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --surface-2: #f1f0ee;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --series-1: #2a78d6;
+  --status-good: #0ca30c;
+  --status-serious: #ec835a;
+  --status-critical: #d03b3b;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  font: 14px/1.45 system-ui, sans-serif;
+  margin: 0 auto;
+  max-width: 72rem;
+  padding: 1.5rem;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --surface-2: #262625;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --series-1: #3987e5;
+  }
+}
+h1 { font-size: 1.4rem; margin: 0 0 0.25rem; }
+h2 { font-size: 1.1rem; margin: 1.5rem 0 0.5rem; }
+.sub { color: var(--text-secondary); margin: 0 0 1rem; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 0.25rem 0.75rem 0.25rem 0;
+         border-bottom: 1px solid var(--surface-2); }
+th { color: var(--text-secondary); font-weight: 600; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.lane { display: flex; align-items: center; gap: 0.75rem;
+        padding: 0.25rem 0; border-bottom: 1px solid var(--surface-2); }
+.lane .label { min-width: 13rem; font-variant-numeric: tabular-nums; }
+.lane .label .metric { color: var(--text-secondary); }
+.lane svg rect.bg { fill: var(--surface-2); }
+.lane svg polyline { fill: none; stroke: var(--series-1); stroke-width: 1.5;
+                     stroke-linejoin: round; }
+.lane svg line.evt { stroke: var(--status-critical); stroke-width: 1.5; }
+.lane svg line.evt-good { stroke: var(--status-good); }
+.lane svg line.evt-warn { stroke: var(--status-serious); }
+.badge { font-size: 0.8rem; font-weight: 600; padding: 0.05rem 0.4rem;
+         border-radius: 4px; border: 1.5px solid var(--status-serious); }
+</style>
+</head>
+<body class="viz-root">
+`)
+}
+
+// ft renders a simulated time deterministically for report text.
+func ft(t float64) string { return strconv.FormatFloat(t, 'g', 6, 64) }
+
+func writeSummary(b *strings.Builder, rec *Recorder, views []SeriesView, events []Event) {
+	b.WriteString("<h1>mcio timeline</h1>\n")
+	fmt.Fprintf(b, "<p class=\"sub\">span %ss &middot; tick %ss &middot; %d series &middot; %d events",
+		ft(rec.Span()), ft(rec.Tick()), len(views), len(events))
+	for _, kv := range rec.Meta() {
+		fmt.Fprintf(b, " &middot; %s", html.EscapeString(kv))
+	}
+	b.WriteString("</p>\n")
+}
+
+func writeSaturation(b *strings.Builder, sat *SatReport) {
+	if sat == nil || (len(sat.Resources) == 0 && len(sat.Phases) == 0) {
+		return
+	}
+	b.WriteString("<h2>Saturation</h2>\n<table>\n<tr><th>resource</th><th class=\"num\">peak util</th><th class=\"num\">mean util</th><th class=\"num\">knee</th><th class=\"num\">saturated at</th></tr>\n")
+	for _, r := range sat.Resources {
+		knee, satAt := "-", "-"
+		if r.KneeT >= 0 {
+			knee = ft(r.KneeT) + "s"
+		}
+		if r.SatT >= 0 {
+			satAt = ft(r.SatT) + "s"
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=\"num\">%.0f%%</td><td class=\"num\">%.0f%%</td><td class=\"num\">%s</td><td class=\"num\">%s</td></tr>\n",
+			html.EscapeString(r.Entity), r.Peak*100, r.Mean*100, knee, satAt)
+	}
+	b.WriteString("</table>\n")
+	if len(sat.Phases) > 0 {
+		b.WriteString("<h2>Phases</h2>\n<table>\n<tr><th>phase</th><th class=\"num\">window</th><th>verdict</th></tr>\n")
+		for _, p := range sat.Phases {
+			verdict := fmt.Sprintf("busiest: %s (mean %.0f%%)", html.EscapeString(p.First), p.FirstUtil*100)
+			if p.Saturated {
+				verdict = fmt.Sprintf("first saturated: %s at %ss", html.EscapeString(p.First), ft(p.FirstT))
+			}
+			if p.First == "" {
+				verdict = "idle"
+			}
+			fmt.Fprintf(b, "<tr><td>%s</td><td class=\"num\">%ss &ndash; %ss</td><td>%s</td></tr>\n",
+				html.EscapeString(p.Name), ft(p.Start), ft(p.End), verdict)
+		}
+		b.WriteString("</table>\n")
+	}
+}
+
+// evtClass maps journal kinds to marker colors: faults and breaker
+// opens are critical, recoveries good, the rest warnings.
+func evtClass(kind string) string {
+	switch kind {
+	case EvFault, EvBreakerOpen:
+		return "evt"
+	case EvBreakerClose, EvClear:
+		return "evt evt-good"
+	default:
+		return "evt evt-warn"
+	}
+}
+
+func writeLanes(b *strings.Builder, rec *Recorder, views []SeriesView, events []Event) {
+	if len(views) == 0 {
+		return
+	}
+	span := rec.Span()
+	if span <= 0 {
+		return
+	}
+	// Busy lanes first (the utilization picture), then the rest, both
+	// in the snapshot's natural order; the cap keeps exascale runs
+	// renderable and is reported, never silent.
+	ordered := make([]SeriesView, 0, len(views))
+	for _, v := range views {
+		if v.Kind == Busy {
+			ordered = append(ordered, v)
+		}
+	}
+	for _, v := range views {
+		if v.Kind != Busy {
+			ordered = append(ordered, v)
+		}
+	}
+	shown := ordered
+	if len(shown) > maxLanes {
+		shown = shown[:maxLanes]
+	}
+	b.WriteString("<h2>Timelines</h2>\n")
+	fmt.Fprintf(b, "<p class=\"sub\">%d lanes", len(shown))
+	if omitted := len(ordered) - len(shown); omitted > 0 {
+		fmt.Fprintf(b, " (%d more series omitted; use -csv for the full set)", omitted)
+	}
+	b.WriteString(" &middot; markers are journal events on the lane's entity</p>\n")
+
+	// Events per entity, preserving journal order.
+	byEnt := map[string][]Event{}
+	for _, ev := range events {
+		if ev.T >= 0 && ev.Entity != "" {
+			byEnt[ev.Entity] = append(byEnt[ev.Entity], ev)
+		}
+	}
+	for _, v := range shown {
+		writeLane(b, v, byEnt[v.Entity], span)
+	}
+}
+
+func writeLane(b *strings.Builder, v SeriesView, events []Event, span float64) {
+	peak := v.Max()
+	scale := peak
+	if v.Kind == Busy || scale <= 0 {
+		scale = 1
+		if peak > 1 {
+			scale = peak // overlapping spans can exceed one tick of busy time
+		}
+	}
+	unit := ""
+	if v.Kind == Busy {
+		unit = fmt.Sprintf(" peak %.0f%%", peak*100)
+	} else {
+		unit = " peak " + strconv.FormatFloat(peak, 'g', 4, 64)
+	}
+	fmt.Fprintf(b, "<div class=\"lane\"><span class=\"label\">%s <span class=\"metric\">%s</span></span>\n",
+		html.EscapeString(v.Entity), html.EscapeString(v.Metric))
+	fmt.Fprintf(b, "<svg width=\"%d\" height=\"%d\" role=\"img\"><title>%s %s (%s):%s</title>\n",
+		laneW, laneH, html.EscapeString(v.Entity), html.EscapeString(v.Metric), v.Kind, html.EscapeString(unit))
+	fmt.Fprintf(b, "<rect class=\"bg\" x=\"0\" y=\"0\" width=\"%d\" height=\"%d\"></rect>\n", laneW, laneH)
+
+	// The value polyline: one point per bin, step-ish through bin
+	// centers; fixed %.2f coordinates keep the bytes deterministic.
+	x := func(t float64) float64 {
+		if span <= 0 {
+			return 0
+		}
+		return lanePad + (float64(laneW)-2*lanePad)*t/span
+	}
+	y := func(val float64) float64 {
+		f := val / scale
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		return float64(laneH) - lanePad - (float64(laneH)-2*lanePad)*f
+	}
+	if len(v.Values) > 0 {
+		var pts strings.Builder
+		for i, val := range v.Values {
+			t := (float64(i) + 0.5) * v.Tick
+			if t > span {
+				t = span
+			}
+			fmt.Fprintf(&pts, "%.2f,%.2f ", x(t), y(val))
+		}
+		fmt.Fprintf(b, "<polyline points=\"%s\"></polyline>\n", strings.TrimSpace(pts.String()))
+	}
+	for _, ev := range events {
+		fmt.Fprintf(b, "<line class=\"%s\" x1=\"%.2f\" y1=\"%d\" x2=\"%.2f\" y2=\"%d\"><title>%s @ %ss: %s</title></line>\n",
+			evtClass(ev.Kind), x(ev.T), lanePad, x(ev.T), laneH-lanePad,
+			html.EscapeString(ev.Kind), ft(ev.T), html.EscapeString(ev.Detail))
+	}
+	b.WriteString("</svg></div>\n")
+}
+
+func writeEventTable(b *strings.Builder, events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	b.WriteString("<h2>Events</h2>\n")
+	shown := events
+	if len(shown) > maxEventRows {
+		shown = shown[:maxEventRows]
+		fmt.Fprintf(b, "<p class=\"sub\">first %d of %d events; use -csv for the full journal</p>\n",
+			maxEventRows, len(events))
+	}
+	b.WriteString("<table>\n<tr><th class=\"num\">t (s)</th><th>kind</th><th>entity</th><th>detail</th></tr>\n")
+	for _, ev := range shown {
+		t := "-"
+		if ev.T >= 0 {
+			t = ft(ev.T)
+		}
+		fmt.Fprintf(b, "<tr><td class=\"num\">%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			t, html.EscapeString(ev.Kind), html.EscapeString(ev.Entity), html.EscapeString(ev.Detail))
+	}
+	b.WriteString("</table>\n")
+}
+
+// WriteCSV exports every series bin and every journal event as one
+// flat CSV: series rows carry (row=series, entity, metric, kind, t,
+// value), event rows (row=event, entity, kind-as-metric, t, detail).
+// Deterministic, same ordering as the report.
+func WriteCSV(w io.Writer, rec *Recorder) error {
+	b := &strings.Builder{}
+	b.WriteString("row,entity,metric,kind,t_seconds,value,detail\n")
+	for _, v := range rec.Snapshot() {
+		for i, val := range v.Values {
+			if !v.Set[i] {
+				continue
+			}
+			fmt.Fprintf(b, "series,%s,%s,%s,%s,%s,\n",
+				csvField(v.Entity), csvField(v.Metric), v.Kind,
+				ft(float64(i)*v.Tick), strconv.FormatFloat(val, 'g', -1, 64))
+		}
+	}
+	for _, ev := range rec.J().Events() {
+		t := ""
+		if ev.T >= 0 {
+			t = ft(ev.T)
+		}
+		fmt.Fprintf(b, "event,%s,%s,,%s,,%s\n",
+			csvField(ev.Entity), csvField(ev.Kind), t, csvField(ev.Detail))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}

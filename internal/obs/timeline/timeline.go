@@ -1,0 +1,380 @@
+// Package timeline is a simulated-time sampling profiler and a
+// structured event journal for the collective-I/O stack.
+//
+// The Recorder samples per-entity utilization series — per-OST busy
+// fraction and queue depth, per-NIC bytes in flight, per-node memory
+// pressure, suspicion scores — on a fixed simulated-time tick. Series
+// are bounded: when a run outgrows the sample budget the tick doubles
+// and adjacent bins merge (sums for accumulators, maxima for gauges),
+// so every series stays aligned on one shared tick and memory stays
+// O(budget) regardless of run length. All coarsening is deterministic:
+// the same inputs always produce the same bins, so reports built from
+// a Recorder are byte-identical across reruns and under -race.
+//
+// The Journal records typed, timestamped events from across the stack
+// (fault onsets, suspicion transitions, breaker state changes,
+// failovers, degradation rung changes, hedges, repairs) which the
+// report layer overlays on the utilization timelines.
+//
+// The package is a leaf: it imports only the standard library, so sim,
+// pfs, health, core, collio and bench can all feed one recorder
+// without import cycles. All methods are nil-receiver-safe — a nil
+// *Recorder (profiling off) makes every call a cheap no-op.
+package timeline
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SeriesKind says how a series accumulates within a bin and how bins
+// merge when the tick doubles.
+type SeriesKind int
+
+const (
+	// Busy accumulates busy seconds per bin; value/tick is the
+	// utilization fraction. Merged bins sum.
+	Busy SeriesKind = iota
+	// Rate accumulates a quantity per bin (bytes, events). Merged bins
+	// sum.
+	Rate
+	// Gauge keeps the maximum sampled value per bin. Merged bins take
+	// the maximum of the set halves.
+	Gauge
+)
+
+// String names the kind for reports and CSV export.
+func (k SeriesKind) String() string {
+	switch k {
+	case Busy:
+		return "busy"
+	case Rate:
+		return "rate"
+	default:
+		return "gauge"
+	}
+}
+
+// Ent builds the canonical entity label shared by series and journal
+// events: "ost 3", "node 7". The journal's overlay matching depends on
+// every layer using the same labels, so build them here.
+func Ent(kind string, id int) string { return kind + " " + strconv.Itoa(id) }
+
+// Series is one bounded per-entity metric series on the recorder's
+// shared tick.
+type Series struct {
+	Entity string // "ost 0", "node 3", "run"
+	Metric string // "busy", "queue", "nic_bytes", "suspicion", ...
+	Kind   SeriesKind
+
+	bins []float64
+	set  []bool // which bins hold at least one sample (gauges render gaps)
+}
+
+func (s *Series) grow(n int) {
+	for len(s.bins) < n {
+		s.bins = append(s.bins, 0)
+		s.set = append(s.set, false)
+	}
+}
+
+func (s *Series) halve() {
+	n := (len(s.bins) + 1) / 2
+	for i := 0; i < n; i++ {
+		a := s.bins[2*i]
+		sa := s.set[2*i]
+		var b float64
+		var sb bool
+		if 2*i+1 < len(s.bins) {
+			b, sb = s.bins[2*i+1], s.set[2*i+1]
+		}
+		switch s.Kind {
+		case Gauge:
+			m := a
+			if !sa || (sb && b > m) {
+				m = b
+			}
+			s.bins[i] = m
+		default:
+			s.bins[i] = a + b
+		}
+		s.set[i] = sa || sb
+	}
+	s.bins = s.bins[:n]
+	s.set = s.set[:n]
+}
+
+// DefaultBudget is the per-series sample budget when NewRecorder gets
+// zero: small enough that a full profile of every OST, NIC and node
+// stays cheap, large enough for a few hundred pixels per lane.
+const DefaultBudget = 512
+
+// defaultTick is the initial tick when NewRecorder gets zero: far
+// below any round time, so the budget-driven doubling alone picks the
+// effective resolution and short runs keep microsecond detail.
+const defaultTick = 1e-6
+
+// Recorder collects bounded utilization series on one shared
+// simulated-time tick, plus the event journal. Not safe for concurrent
+// use: the single-goroutine cost loop owns it.
+type Recorder struct {
+	tick   float64
+	budget int
+	series map[string]*Series
+	order  []string // insertion order; Snapshot sorts
+	meta   map[string]string
+	j      Journal
+	span   float64
+}
+
+// NewRecorder builds a recorder. tick <= 0 selects a microsecond
+// initial tick; budget <= 0 selects DefaultBudget. The effective tick
+// doubles as needed so no series ever exceeds the budget.
+func NewRecorder(tick float64, budget int) *Recorder {
+	if tick <= 0 {
+		tick = defaultTick
+	}
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Recorder{
+		tick:   tick,
+		budget: budget,
+		series: map[string]*Series{},
+		meta:   map[string]string{},
+	}
+}
+
+// J returns the recorder's journal; nil for a nil recorder, and a nil
+// *Journal is itself a safe no-op sink.
+func (r *Recorder) J() *Journal {
+	if r == nil {
+		return nil
+	}
+	return &r.j
+}
+
+// Tick returns the current effective tick in simulated seconds.
+func (r *Recorder) Tick() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.tick
+}
+
+// Span returns the largest simulated time observed so far.
+func (r *Recorder) Span() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.span
+}
+
+// SetMeta attaches one run-level annotation (strategy, op, Mem_min)
+// rendered in the report header.
+func (r *Recorder) SetMeta(key, value string) {
+	if r == nil {
+		return
+	}
+	r.meta[key] = value
+}
+
+// Meta returns the annotations as sorted key=value strings.
+func (r *Recorder) Meta() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, 0, len(r.meta))
+	for k, v := range r.meta {
+		out = append(out, k+"="+v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Recorder) get(entity, metric string, kind SeriesKind) *Series {
+	key := entity + "\x00" + metric
+	s := r.series[key]
+	if s == nil {
+		s = &Series{Entity: entity, Metric: metric, Kind: kind}
+		r.series[key] = s
+		r.order = append(r.order, key)
+	}
+	return s
+}
+
+// extend notes time t and doubles the tick until bin(t) fits the
+// budget, merging every series in lockstep so all stay aligned.
+func (r *Recorder) extend(t float64) {
+	if t > r.span {
+		r.span = t
+	}
+	for int(t/r.tick) >= r.budget {
+		r.tick *= 2
+		for _, s := range r.series {
+			s.halve()
+		}
+	}
+}
+
+// AddSpan accumulates busy time [start, end) into entity's metric,
+// split across the bins the span covers.
+func (r *Recorder) AddSpan(entity, metric string, start, end float64) {
+	if r == nil || end <= start || start < 0 {
+		return
+	}
+	r.extend(end)
+	s := r.get(entity, metric, Busy)
+	b0, b1 := int(start/r.tick), int(end/r.tick)
+	if b1 >= r.budget { // end exactly on the last boundary
+		b1 = r.budget - 1
+	}
+	s.grow(b1 + 1)
+	for b := b0; b <= b1; b++ {
+		lo, hi := float64(b)*r.tick, float64(b+1)*r.tick
+		if start > lo {
+			lo = start
+		}
+		if end < hi {
+			hi = end
+		}
+		if hi > lo {
+			s.bins[b] += hi - lo
+			s.set[b] = true
+		}
+	}
+}
+
+// AddRate accumulates quantity v (bytes, events) into the bin holding
+// time t.
+func (r *Recorder) AddRate(entity, metric string, t, v float64) {
+	if r == nil || t < 0 {
+		return
+	}
+	r.extend(t)
+	s := r.get(entity, metric, Rate)
+	b := int(t / r.tick)
+	s.grow(b + 1)
+	s.bins[b] += v
+	s.set[b] = true
+}
+
+// AddGauge samples a level (queue depth, suspicion score, buffer
+// occupancy) at time t; a bin keeps the maximum of its samples.
+func (r *Recorder) AddGauge(entity, metric string, t, v float64) {
+	if r == nil || t < 0 {
+		return
+	}
+	r.extend(t)
+	s := r.get(entity, metric, Gauge)
+	b := int(t / r.tick)
+	s.grow(b + 1)
+	if !s.set[b] || v > s.bins[b] {
+		s.bins[b] = v
+	}
+	s.set[b] = true
+}
+
+// SeriesView is one series prepared for reporting: Values holds the
+// utilization fraction per bin for Busy series (busy seconds / tick)
+// and the raw per-bin value otherwise; Set marks bins holding samples.
+type SeriesView struct {
+	Entity string
+	Metric string
+	Kind   SeriesKind
+	Tick   float64
+	Values []float64
+	Set    []bool
+}
+
+// Max returns the largest sampled value in the view (0 when empty).
+func (v SeriesView) Max() float64 {
+	m := 0.0
+	for i, x := range v.Values {
+		if v.Set[i] && x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Mean returns the mean over all bins up to the last set one (unset
+// bins count as zero — the resource was idle).
+func (v SeriesView) Mean() float64 {
+	last := -1
+	for i := range v.Values {
+		if v.Set[i] {
+			last = i
+		}
+	}
+	if last < 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i <= last; i++ {
+		sum += v.Values[i]
+	}
+	return sum / float64(last+1)
+}
+
+// entityLess orders entities naturally: by kind prefix, then by the
+// numeric suffix ("node 2" before "node 10"), so per-entity lanes come
+// out stable and human-ordered.
+func entityLess(a, b string) bool {
+	pa, na := splitEnt(a)
+	pb, nb := splitEnt(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func splitEnt(s string) (string, int) {
+	i := strings.LastIndexByte(s, ' ')
+	if i < 0 {
+		return s, -1
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return s, -1
+	}
+	return s[:i], n
+}
+
+// Snapshot returns every series, sorted by (entity natural order,
+// metric), with Busy bins converted to utilization fractions. The
+// result is a pure function of the recorded inputs.
+func (r *Recorder) Snapshot() []SeriesView {
+	if r == nil {
+		return nil
+	}
+	views := make([]SeriesView, 0, len(r.order))
+	for _, key := range r.order {
+		s := r.series[key]
+		v := SeriesView{
+			Entity: s.Entity,
+			Metric: s.Metric,
+			Kind:   s.Kind,
+			Tick:   r.tick,
+			Values: append([]float64(nil), s.bins...),
+			Set:    append([]bool(nil), s.set...),
+		}
+		if s.Kind == Busy {
+			for i := range v.Values {
+				v.Values[i] /= r.tick
+			}
+		}
+		views = append(views, v)
+	}
+	sort.Slice(views, func(i, j int) bool {
+		if views[i].Entity != views[j].Entity {
+			return entityLess(views[i].Entity, views[j].Entity)
+		}
+		return views[i].Metric < views[j].Metric
+	})
+	return views
+}

@@ -29,6 +29,7 @@ import (
 
 	"mcio/internal/machine"
 	"mcio/internal/obs"
+	"mcio/internal/obs/timeline"
 )
 
 // StorageParams prices accesses to the parallel-file-system targets.
@@ -296,6 +297,8 @@ type Engine struct {
 	totals   Totals
 	trace    []TraceEntry
 	eo       *engineObs
+	rec      *timeline.Recorder
+	tlPhase  string // last phase journaled to the timeline recorder
 
 	// runRound scratch, recycled round to round (the Engine is
 	// single-goroutine by contract). The maps are drained into the
@@ -392,6 +395,56 @@ func (e *Engine) SetObserver(o *obs.Observer, pid int, base ...obs.Label) {
 		hs:   map[string]*obs.Histogram{},
 	}
 	e.eo.nameTID(TIDTimeline, "rounds")
+}
+
+// SetTimeline attaches a timeline recorder: every round samples
+// per-node busy time and NIC bytes and per-target busy time and queue
+// depth into it, and phase changes (metadata / data / recovery) land
+// in its journal. Recording is pure observation — pricing is
+// unchanged. A nil recorder (the default) detaches.
+func (e *Engine) SetTimeline(rec *timeline.Recorder) {
+	e.rec = rec
+	e.tlPhase = ""
+}
+
+// Timeline returns the attached recorder, nil when profiling is off.
+func (e *Engine) Timeline() *timeline.Recorder { return e.rec }
+
+// recordRound samples one priced round into the timeline recorder.
+// Spans follow the trace-emission convention: communication starts at
+// the round start; storage starts after it, or alongside it when
+// phases overlap.
+func (e *Engine) recordRound(start float64, rc RoundCost, kind string, recovery bool,
+	nodeIDs []int, nodeTime []float64, loads map[int]*nodeLoad,
+	targetIDs []int, targets map[int]*targetLoad) {
+	rec := e.rec
+	phase := "data"
+	switch {
+	case recovery:
+		phase = "recovery"
+	case kind == RoundMetadata:
+		phase = "metadata"
+	}
+	if phase != e.tlPhase {
+		e.tlPhase = phase
+		rec.J().Record(start, timeline.EvPhase, "run", phase)
+	}
+	commStart, ioStart := start, start+rc.CommTime
+	if e.opt.Overlap {
+		ioStart = start
+	}
+	for i, n := range nodeIDs {
+		ent := timeline.Ent("node", n)
+		rec.AddSpan(ent, "busy", commStart, commStart+nodeTime[i])
+		l := loads[n]
+		rec.AddRate(ent, "nic_bytes", commStart, float64(l.in+l.out))
+	}
+	for _, t := range targetIDs {
+		ent := timeline.Ent("ost", t)
+		load := targets[t]
+		rec.AddSpan(ent, "busy", ioStart, ioStart+load.time)
+		rec.AddGauge(ent, "queue", ioStart, float64(load.requests))
+	}
 }
 
 // NewEngine builds an engine. The machine config, storage parameters and
@@ -812,6 +865,9 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 			IODir:         ioDir,
 		})
 	}
+	if e.rec != nil {
+		e.recordRound(start, rc, r.Kind, recovery, nodeIDs, nodeTime, loads, targetIDs, targets)
+	}
 	if eo := e.eo; eo != nil {
 		eo.emitRound(roundEmit{
 			round:    round,
@@ -1000,6 +1056,11 @@ func (e *Engine) AddRecoveryLatency(seconds float64, kind string) {
 	start := e.totals.Time
 	e.totals.Time += seconds
 	e.totals.RecoverySeconds += seconds
+	if e.rec != nil {
+		e.rec.J().Record(start, timeline.EvStall, "run",
+			fmt.Sprintf("%s (%.4gs)", kind, seconds))
+		e.rec.AddSpan("run", "stall", start, start+seconds)
+	}
 	if eo := e.eo; eo != nil {
 		eo.counter("sim.recovery_stalls", "", 0).Inc()
 		eo.histogram("sim.recovery_seconds", "", 0).Observe(seconds)
