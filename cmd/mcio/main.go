@@ -211,6 +211,7 @@ func runBench(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 42, "seed for the availability variance and fault schedules")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent sweep cells; 1 = exact serial legacy path (ledgers are scheduling-invariant either way)")
 	outPath := fs.String("out", "", "write the run ledger JSON here (default: stdout)")
+	engine := fs.String("engine", "", cliutil.ChoiceFlagUsage("pricing engine override", bench.Engines)+" (default: the experiment's own)")
 	force := fs.Bool("force", false, "overwrite an existing -out ledger file")
 	archive := fs.String("archive", "", "append the record to this history directory under an auto-generated <seq>-<commit>-<exp>.json name")
 	name := "fig6"
@@ -229,6 +230,10 @@ func runBench(args []string, out io.Writer) error {
 		}
 	}
 	bench.SetParallelism(*parallel)
+	if err := bench.SetEngine(*engine); err != nil {
+		return err
+	}
+	defer bench.SetEngine("")
 	rec, err := bench.StampedLedger(name, *scale, *seed)
 	if err != nil {
 		return err
@@ -568,14 +573,20 @@ var allExperiments = []string{
 	"trajectory", "blame", "trace", "tune", "ablation", "faults",
 }
 
+// expChoices is allExperiments plus the "all" meta-experiment — the
+// value list the -exp usage text and unknown-experiment error share.
+func expChoices() []string {
+	return append(append([]string(nil), allExperiments...), "all")
+}
+
 // expUsage renders the -exp flag's usage text from allExperiments.
 func expUsage() string {
-	return "experiment: " + strings.Join(allExperiments, ", ") + ", all"
+	return cliutil.ChoiceFlagUsage("experiment", expChoices())
 }
 
 // unknownExpErr renders the unknown-experiment error from the same list.
 func unknownExpErr(name string) error {
-	return fmt.Errorf("unknown experiment %q (valid: %s, all)", name, strings.Join(allExperiments, ", "))
+	return cliutil.UnknownChoice("experiment", name, expChoices())
 }
 
 func main() {

@@ -13,9 +13,12 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
+	"mcio/internal/cliutil"
 	"mcio/internal/collio"
 	"mcio/internal/core"
+	"mcio/internal/fastsim"
 	"mcio/internal/machine"
 	"mcio/internal/mpi"
 	"mcio/internal/pfs"
@@ -27,6 +30,55 @@ import (
 
 // MB is a byte count shorthand for experiment parameters.
 const MB = int64(1) << 20
+
+// Engine names: the byte path replays one message per rank through the
+// simulator; the fast path prices the same rounds analytically from
+// aggregate per-route quantities (internal/fastsim). The two are
+// cross-checked to bit-identical results on every figure cell.
+const (
+	EngineBytes = "bytes"
+	EngineFast  = "fast"
+)
+
+// Engines lists the pricing engines a sweep can run on, in display
+// order — the single source of truth for the CLI's -engine usage text.
+var Engines = []string{EngineBytes, EngineFast}
+
+// engineOverride, when set, replaces every sweep Config's engine — how
+// `mcio bench -engine` forces a whole run onto one pricing path. Like
+// SetParallelism this cannot change any result: the engines price
+// bit-identically (the cross-check invariant); only run time differs.
+var engineOverride struct {
+	sync.Mutex
+	name string
+}
+
+// SetEngine sets the process-wide pricing-engine override; "" restores
+// each experiment's own choice. Unknown names are rejected against
+// Engines.
+func SetEngine(name string) error {
+	if name != "" && name != EngineBytes && name != EngineFast {
+		return cliutil.UnknownChoice("engine", name, Engines)
+	}
+	engineOverride.Lock()
+	defer engineOverride.Unlock()
+	engineOverride.name = name
+	return nil
+}
+
+// engine resolves the pricing engine a sweep over c runs on: the
+// process-wide override when set, else c.Engine, else the byte path.
+func (c Config) engine() string {
+	engineOverride.Lock()
+	defer engineOverride.Unlock()
+	if engineOverride.name != "" {
+		return engineOverride.name
+	}
+	if c.Engine != "" {
+		return c.Engine
+	}
+	return EngineBytes
+}
 
 // Config fixes one experiment's platform and sweep.
 type Config struct {
@@ -60,6 +112,13 @@ type Config struct {
 
 	// Overlap prices communication/I-O phases as pipelined.
 	Overlap bool
+
+	// Preset names the machine design point (machine.PresetNames); empty
+	// means the paper's testbed.
+	Preset string
+	// Engine selects the pricing engine (Engines); empty means the byte
+	// path.
+	Engine string
 }
 
 // Validate reports an error for an unusable experiment configuration.
@@ -80,6 +139,12 @@ func (c Config) Validate() error {
 		if m <= 0 {
 			return fmt.Errorf("bench %s: memory size %d must be positive", c.Name, m)
 		}
+	}
+	if c.Engine != "" && c.Engine != EngineBytes && c.Engine != EngineFast {
+		return fmt.Errorf("bench %s: %w", c.Name, cliutil.UnknownChoice("engine", c.Engine, Engines))
+	}
+	if _, err := machine.Preset(c.Preset); err != nil {
+		return fmt.Errorf("bench %s: %w", c.Name, err)
 	}
 	return nil
 }
@@ -137,7 +202,11 @@ func (c Config) context(memMean int64, zs []float64, totalBytes int64) (*collio.
 	if err != nil {
 		return nil, err
 	}
-	mc := machine.Testbed640().Scaled(topo.Nodes())
+	preset, err := machine.Preset(c.Preset)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", c.Name, err)
+	}
+	mc := preset.Scaled(topo.Nodes())
 	mc.NetLatency /= float64(c.Scale)
 
 	fsCfg := pfs.DefaultConfig(c.Targets)
@@ -241,6 +310,9 @@ func runSweep(cfg Config, wl Workload, workloadName string, strategies []collio.
 	// Per-round traces feed the run ledger's blame attribution; the cost
 	// is a few records per round, negligible next to the pricing itself.
 	opt.Trace = true
+	// Resolve the pricing engine once so all cells of a sweep agree even
+	// if the override changes mid-run.
+	engine := cfg.engine()
 	series := &Series{Name: cfg.Name, Workload: workloadName, Config: cfg}
 	// One standard-normal endowment per node for the whole sweep.
 	nodes := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
@@ -277,8 +349,23 @@ func runSweep(cfg Config, wl Workload, workloadName string, strategies []collio.
 		if err != nil {
 			return fmt.Errorf("bench %s: %s at %d MB: %w", cfg.Name, s.Name(), memMB, err)
 		}
+		// Both directions price from the same engine state: the fast path
+		// derives the plan's round shape once and reuses it for write and
+		// read, the byte path replays the rank messages per direction.
+		price := func(op collio.Op) (*collio.CostResult, error) {
+			return collio.Cost(ctx, plan, reqs, op, opt)
+		}
+		if engine == EngineFast {
+			fs, err := fastsim.New(ctx, plan, reqs)
+			if err != nil {
+				return err
+			}
+			price = func(op collio.Op) (*collio.CostResult, error) {
+				return fs.Cost(op, opt)
+			}
+		}
 		for _, op := range []collio.Op{collio.Write, collio.Read} {
-			res, err := collio.Cost(ctx, plan, reqs, op, opt)
+			res, err := price(op)
 			if err != nil {
 				return err
 			}

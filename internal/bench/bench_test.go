@@ -2,8 +2,11 @@ package bench
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
+
+	"mcio/internal/collio"
 )
 
 // testScale keeps package tests fast; shapes are scale-invariant.
@@ -428,5 +431,120 @@ func TestPlansAt(t *testing.T) {
 	bad.Ranks = 0
 	if _, _, err := PlansAt(bad, 8); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestFigExaEnginesMatchSmall shrinks the fig-exa configuration to a
+// byte-path-feasible size and cross-checks that both engines price every
+// cell of the sweep identically — the fast path's exactness contract on
+// the exascale experiment's own workload shape.
+func TestFigExaEnginesMatchSmall(t *testing.T) {
+	cfg := FigExaConfig(testScale, 42)
+	cfg.Ranks = 600
+	cfg.RanksPerNode = 6
+	cfg.Targets = 16
+	wl, name := FigExaWorkload(cfg)
+	fast, err := RunSweep(cfg, wl, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = EngineBytes
+	bytes, err := RunSweep(cfg, wl, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.Points) != len(bytes.Points) || len(fast.Points) == 0 {
+		t.Fatalf("point counts diverge: fast %d, bytes %d", len(fast.Points), len(bytes.Points))
+	}
+	for i := range fast.Points {
+		f, b := fast.Points[i], bytes.Points[i]
+		if !reflect.DeepEqual(f.Result, b.Result) {
+			t.Fatalf("cell %s/%s/mem=%d: engines diverge", f.Strategy, f.Op, f.MemMB)
+		}
+	}
+}
+
+// TestEnginesMatchAllFigures cross-checks the two pricing engines on
+// every cell of every figure sweep: fig6, fig7 and fig8 priced under
+// the byte path and the fast path must agree bit for bit — seconds,
+// totals, blame traces, everything in the CostResult. This is the CI
+// cross-check gate; it drives the engines through the SetEngine
+// override, so the `mcio bench -engine` path is what is being proven.
+func TestEnginesMatchAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full figure sweeps, twice each")
+	}
+	if err := SetEngine("warp"); err == nil {
+		t.Fatal("SetEngine accepted an unknown engine")
+	}
+	defer SetEngine("")
+	figures := []struct {
+		name string
+		run  func(int64, uint64) (*Series, error)
+	}{{"fig6", Fig6}, {"fig7", Fig7}, {"fig8", Fig8}}
+	for _, fig := range figures {
+		byEngine := map[string]*Series{}
+		for _, eng := range Engines {
+			if err := SetEngine(eng); err != nil {
+				t.Fatal(err)
+			}
+			s, err := fig.run(testScale, 42)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fig.name, eng, err)
+			}
+			byEngine[eng] = s
+		}
+		fast, bytes := byEngine[EngineFast], byEngine[EngineBytes]
+		if len(fast.Points) != len(bytes.Points) || len(fast.Points) == 0 {
+			t.Fatalf("%s: point counts diverge: fast %d, bytes %d",
+				fig.name, len(fast.Points), len(bytes.Points))
+		}
+		for i := range fast.Points {
+			f, b := fast.Points[i], bytes.Points[i]
+			if !reflect.DeepEqual(f.Result, b.Result) {
+				t.Errorf("%s cell %s/%s/mem=%d: engines diverge",
+					fig.name, f.Strategy, f.Op, f.MemMB)
+			}
+		}
+	}
+}
+
+// BenchmarkFastPathExa is the headline fast-path measurement: the full
+// fig-exa sweep — one million ranks on ten thousand exascale nodes, four
+// memory points, two strategies, write and read — priced analytically.
+// The acceptance bar is well under a minute per sweep; the byte path
+// cannot run this at all without materializing ~1M messages per round.
+func BenchmarkFastPathExa(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		collio.ResetPlanCache()
+		if _, err := FigExa(DefaultScale, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFastVsByteFig6 compares the two pricing engines head to head
+// on the identical Figure 6 sweep: same plans, same results (the
+// cross-check tests assert bitwise equality), different cost to compute
+// them.
+func BenchmarkFastVsByteFig6(b *testing.B) {
+	for _, engine := range Engines {
+		b.Run(engine, func(b *testing.B) {
+			cfg := Fig6Config(testScale, 42)
+			cfg.Engine = engine
+			wl, name, err := Fig6Workload(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				collio.ResetPlanCache()
+				if _, err := RunSweep(cfg, wl, name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

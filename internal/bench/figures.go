@@ -134,3 +134,47 @@ func Fig8(scale int64, seed uint64) (*Series, error) {
 	wl, name := Fig8Workload(cfg)
 	return RunSweep(cfg, wl, name)
 }
+
+// FigExaConfig is the extrapolation experiment the paper argues toward
+// but could not run: the Figure 8 IOR sweep pushed to the Table 1
+// exascale design point — one million ranks on ten thousand nodes — and
+// priced on the analytical fast path, since the byte path would
+// materialize a million messages per round. The memory axis keeps the
+// scarce half of the paper sweep: at ~10 MB per core, 64 MB aggregator
+// buffers are already a luxury.
+func FigExaConfig(scale int64, seed uint64) Config {
+	return Config{
+		Name:         "fig-exa-ior-1m",
+		Ranks:        1_000_000,
+		RanksPerNode: 100,
+		Targets:      1024,
+		Scale:        scale,
+		Seed:         seed,
+		SigmaMB:      50,
+		MemMB:        []int{8, 16, 32, 64},
+		MsgIndMB:     32,
+		Preset:       "exascale2018",
+		Engine:       EngineFast,
+	}
+}
+
+// FigExaWorkload builds the million-rank interleaved IOR pattern: two
+// segments of 4 MB blocks = 8 MB per process (scaled), ~8 TB of file.
+func FigExaWorkload(cfg Config) (Workload, string) {
+	block := cfg.scaled(4 * MB)
+	w := workload.IOR{
+		Ranks:        cfg.Ranks,
+		BlockSize:    block,
+		TransferSize: block,
+		Segments:     2,
+	}
+	name := fmt.Sprintf("IOR interleaved %d ranks, %d MB/proc", cfg.Ranks, w.BytesPerRank()*cfg.Scale/MB)
+	return w, name
+}
+
+// FigExa runs the exascale sweep on the fast path.
+func FigExa(scale int64, seed uint64) (*Series, error) {
+	cfg := FigExaConfig(scale, seed)
+	wl, name := FigExaWorkload(cfg)
+	return RunSweep(cfg, wl, name)
+}

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"strconv"
-	"strings"
 	"time"
 
+	"mcio/internal/cliutil"
 	"mcio/internal/collio"
 	"mcio/internal/obs"
 	"mcio/internal/obs/analyze"
@@ -14,7 +14,7 @@ import (
 
 // LedgerExperiments lists every experiment Ledger can run, in display
 // order — the single source of truth for the CLI's usage text.
-var LedgerExperiments = []string{"fig6", "fig7", "fig8", "trajectory", "faults", "chaos", "chaos-gray"}
+var LedgerExperiments = []string{"fig6", "fig7", "fig8", "fig-exa", "trajectory", "faults", "chaos", "chaos-gray"}
 
 // chaosLedgerOps is the campaign length of the chaos ledger run: long
 // enough that detection/repair/degradation counts are meaningful, short
@@ -42,7 +42,7 @@ func Ledger(name string, scale int64, seed uint64) (*obs.RunRecord, error) {
 		},
 	}
 	switch name {
-	case "fig6", "fig7", "fig8":
+	case "fig6", "fig7", "fig8", "fig-exa":
 		var (
 			series *Series
 			err    error
@@ -52,14 +52,26 @@ func Ledger(name string, scale int64, seed uint64) (*obs.RunRecord, error) {
 			series, err = Fig6(scale, seed)
 		case "fig7":
 			series, err = Fig7(scale, seed)
-		default:
+		case "fig8":
 			series, err = Fig8(scale, seed)
+		default:
+			series, err = FigExa(scale, seed)
 		}
 		if err != nil {
 			return nil, err
 		}
+		// Trend matches series across archived records by entry name, so
+		// experiments sharing one history directory need distinct names
+		// (the chaos/gray convention). fig-exa gets a prefix; fig6 keeps
+		// its legacy bare names, pinned by the committed baselines.
+		prefix := ""
+		if name == "fig-exa" {
+			prefix = "fig-exa/"
+		}
 		for _, p := range series.Points {
-			rec.Entries = append(rec.Entries, sweepEntry(p, series.Config.Overlap))
+			e := sweepEntry(p, series.Config.Overlap)
+			e.Name = prefix + e.Name
+			rec.Entries = append(rec.Entries, e)
 		}
 	case "trajectory":
 		points, err := trajectoryRun(scale, seed)
@@ -109,7 +121,7 @@ func Ledger(name string, scale int64, seed uint64) (*obs.RunRecord, error) {
 		rec.Params["repair"] = "true"
 		rec.Entries = append(rec.Entries, grayEntries(rep)...)
 	default:
-		return nil, fmt.Errorf("bench: Ledger knows %s; not %q", strings.Join(LedgerExperiments, ", "), name)
+		return nil, cliutil.UnknownChoice("experiment", name, LedgerExperiments)
 	}
 	return rec, nil
 }
@@ -136,6 +148,21 @@ func StampedLedger(name string, scale int64, seed uint64) (*obs.RunRecord, error
 		HostWallSeconds: time.Since(start).Seconds(),
 		TotalAllocBytes: after.TotalAlloc - before.TotalAlloc,
 		PeakHeapBytes:   after.HeapSys,
+	}
+	// fig-exa exists to prove the fast path's speed, so its ledger also
+	// carries the host-side cost of producing it as a metrics-only entry:
+	// the trend gate drift-checks metrics series over history, turning a
+	// fast-path slowdown or allocation regression into a flagged series.
+	// (Metrics do not feed the step-regression diff, so cross-machine
+	// wall-clock noise cannot fail the baseline gate.)
+	if name == "fig-exa" {
+		rec.Entries = append(rec.Entries, obs.RunEntry{
+			Name: "fig-exa/harness",
+			Metrics: map[string]float64{
+				"host_wall_seconds": rec.Telemetry.HostWallSeconds,
+				"total_alloc_bytes": float64(rec.Telemetry.TotalAllocBytes),
+			},
+		})
 	}
 	return rec, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"mcio/internal/cliutil"
 	"mcio/internal/collio"
 	"mcio/internal/core"
 	"mcio/internal/obs"
@@ -62,8 +63,7 @@ func Observe(figure string, scale int64, seed uint64, memMB int, op collio.Op) (
 		cfg = Fig8Config(scale, seed)
 		wl, name = Fig8Workload(cfg)
 	default:
-		return nil, fmt.Errorf("bench: Observe knows %s; not %q",
-			strings.Join(ObserveFigures, ", "), figure)
+		return nil, cliutil.UnknownChoice("figure", figure, ObserveFigures)
 	}
 	cfg.MemMB = []int{memMB}
 	reqs, err := wl.Requests()

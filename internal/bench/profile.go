@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mcio/internal/cliutil"
 	"mcio/internal/collio"
 	"mcio/internal/core"
 	"mcio/internal/obs/timeline"
@@ -50,8 +51,7 @@ func Profile(name string, scale int64, seed uint64, memMB int, op collio.Op, tic
 			return nil, err
 		}
 	default:
-		return nil, fmt.Errorf("bench: Profile knows %s; not %q",
-			strings.Join(ProfileExperiments, ", "), name)
+		return nil, cliutil.UnknownChoice("experiment", name, ProfileExperiments)
 	}
 	sat := timeline.Analyze(rec, timeline.SatOptions{})
 	summary.WriteString(sat.Render())

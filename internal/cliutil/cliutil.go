@@ -26,6 +26,13 @@ func UnknownChoice(what, got string, choices []string) error {
 	return fmt.Errorf("unknown %s %q (valid: %s)", what, got, strings.Join(choices, ", "))
 }
 
+// ChoiceFlagUsage renders the usage text for a flag that takes one
+// choice from a fixed list, single-sourced from the same slice
+// UnknownChoice validates against.
+func ChoiceFlagUsage(what string, choices []string) string {
+	return what + ": " + strings.Join(choices, ", ")
+}
+
 // ParseSize parses "64k", "4m", "1g", "16MB", "512B" (binary units) or
 // plain bytes.
 func ParseSize(s string) (int64, error) {

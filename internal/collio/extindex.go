@@ -2,6 +2,7 @@ package collio
 
 import (
 	"fmt"
+	"sort"
 
 	"mcio/internal/pfs"
 )
@@ -46,6 +47,64 @@ func NewExtentIndex(buckets [][]pfs.Extent) *ExtentIndex {
 // each bucket, indexed by bucket id.
 func (x *ExtentIndex) OverlapBytes(exts []pfs.Extent) []int64 {
 	return x.OverlapBytesInto(nil, exts)
+}
+
+// BucketBytes is one bucket's overlap with a request: the sparse form
+// of an OverlapBytes result row.
+type BucketBytes struct {
+	Bucket int
+	Bytes  int64
+}
+
+// OverlapAppend appends the non-zero overlaps of exts with the buckets
+// to dst, ascending by bucket id, and returns the extended slice. It is
+// the sparse counterpart of OverlapBytesInto: a request touching a
+// handful of the index's buckets costs O(extents + touched), not the
+// O(buckets) clear of a dense result row — the difference between
+// pricing a million-rank operation and timing out on it.
+func (x *ExtentIndex) OverlapAppend(dst []BucketBytes, exts []pfs.Extent) []BucketBytes {
+	base := len(dst)
+	norm := exts
+	if !pfs.IsNormalized(exts) {
+		norm = pfs.NormalizeExtents(exts)
+	}
+	i, j := 0, 0
+	for i < len(norm) && j < len(x.flat) {
+		a := norm[i]
+		if x.flat[j].End() <= a.Offset {
+			// Gallop past the bucket extents wholly before this request
+			// extent: a sparse request touching k of n flat extents costs
+			// O(k log n), not the O(n) of stepping one extent at a time —
+			// which is what keeps shape-building linear in ranks when a
+			// million sparse requests query a hundred-thousand-extent index.
+			j += sort.Search(len(x.flat)-j, func(k int) bool { return x.flat[j+k].End() > a.Offset })
+			continue
+		}
+		b := x.flat[j]
+		lo := a.Offset
+		if b.Offset > lo {
+			lo = b.Offset
+		}
+		hi := a.End()
+		if b.End() < hi {
+			hi = b.End()
+		}
+		if hi > lo {
+			// A bucket's flat extents are contiguous and j only advances,
+			// so hits for one bucket are consecutive: accumulate in place.
+			if bk := x.bucket[j]; len(dst) > base && dst[len(dst)-1].Bucket == bk {
+				dst[len(dst)-1].Bytes += hi - lo
+			} else {
+				dst = append(dst, BucketBytes{Bucket: bk, Bytes: hi - lo})
+			}
+		}
+		if a.End() < b.End() {
+			i++
+		} else {
+			j++
+		}
+	}
+	return dst
 }
 
 // OverlapBytesInto is OverlapBytes with a caller-owned scratch slice:

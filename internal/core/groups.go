@@ -68,30 +68,70 @@ func DivideGroups(ctx *collio.Context, reqs []collio.RankRequest) []Group {
 		}
 		nodeSpan[node] = s
 	}
-	nodes := make([]int, 0, len(nodeSpan))
-	for n := range nodeSpan {
-		nodes = append(nodes, n)
+	spans := make([]span, 0, len(nodeSpan))
+	for _, s := range nodeSpan {
+		spans = append(spans, s)
 	}
-	sort.Ints(nodes)
+
+	// Prefix sums over the aggregate extents turn the per-group "take
+	// MsgGroup data bytes" boundary calculation into a binary search, and
+	// window clipping into an index walk — O(log n) per group instead of
+	// re-clipping the whole remaining region, which is what lets group
+	// division run at million-rank scale.
+	prefix := make([]int64, len(norm)+1)
+	for i, e := range norm {
+		prefix[i+1] = prefix[i] + e.Length
+	}
+	total := prefix[len(norm)]
+	// dataAt returns the data-space position of file offset x: the
+	// requested bytes strictly before x.
+	dataAt := func(x int64) int64 {
+		i := sort.Search(len(norm), func(i int) bool { return norm[i].End() > x })
+		if i == len(norm) {
+			return total
+		}
+		d := prefix[i]
+		if x > norm[i].Offset {
+			d += x - norm[i].Offset
+		}
+		return d
+	}
+	// clipRange is pfs.Clip(norm, lo, hi) via binary search on the
+	// already-normalized aggregate extents.
+	clipRange := func(lo, hi int64) []pfs.Extent {
+		i := sort.Search(len(norm), func(i int) bool { return norm[i].End() > lo })
+		var out []pfs.Extent
+		for ; i < len(norm) && norm[i].Offset < hi; i++ {
+			o, e := norm[i].Offset, norm[i].End()
+			if o < lo {
+				o = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			out = append(out, pfs.Extent{Offset: o, Length: e - o})
+		}
+		return out
+	}
 
 	msgGroup := ctx.Params.MsgGroup
 	end := norm[len(norm)-1].End()
 	var groups []Group
 	cur := norm[0].Offset
 	for cur < end {
-		remaining := pfs.Clip(norm, cur, end)
-		if len(remaining) == 0 {
-			break
+		// Tentative boundary after MsgGroup data bytes: locate the extent
+		// where the cumulative request data from cur reaches msgGroup.
+		b := end
+		if target := dataAt(cur) + msgGroup; target < total {
+			j := sort.Search(len(norm), func(i int) bool { return prefix[i+1] >= target })
+			b = norm[j].Offset + (target - prefix[j])
 		}
-		slice := pfs.SliceData(remaining, 0, msgGroup)
-		b := slice[len(slice)-1].End() // tentative boundary after MsgGroup data bytes
 		if b < end {
 			// Fig 4 extension: snap to the ending offset of the data of any
 			// node straddling the boundary, unless that extension exceeds
 			// half a group (interleaved pattern guard).
 			var ext int64
-			for _, n := range nodes {
-				s := nodeSpan[n]
+			for _, s := range spans {
 				if s.lo < b && s.hi > b && s.hi > ext {
 					ext = s.hi
 				}
@@ -103,19 +143,38 @@ func DivideGroups(ctx *collio.Context, reqs []collio.RankRequest) []Group {
 				b = end
 			}
 		}
-		g := Group{
+		groups = append(groups, Group{
 			Index:   len(groups),
 			Region:  pfs.Extent{Offset: cur, Length: b - cur},
-			Extents: pfs.Clip(norm, cur, b),
-		}
-		for rank, exts := range normReq {
-			if len(pfs.Clip(exts, cur, b)) > 0 {
-				g.Ranks = append(g.Ranks, rank)
+			Extents: clipRange(cur, b),
+		})
+		cur = b
+	}
+
+	// Membership: the group windows tile [norm[0].Offset, end), so an
+	// extent belongs to exactly the windows its [Offset, End) range
+	// overlaps — two binary searches per extent instead of clipping every
+	// rank's request list against every window.
+	windowOf := func(x int64) int {
+		return sort.Search(len(groups), func(i int) bool { return groups[i].Region.End() > x })
+	}
+	for rank, exts := range normReq {
+		for _, e := range exts {
+			for w, wj := windowOf(e.Offset), windowOf(e.End()-1); w <= wj; w++ {
+				groups[w].Ranks = append(groups[w].Ranks, rank)
 			}
 		}
-		sort.Ints(g.Ranks)
-		groups = append(groups, g)
-		cur = b
+	}
+	for i := range groups {
+		r := groups[i].Ranks
+		sort.Ints(r)
+		dedup := r[:0]
+		for j, rank := range r {
+			if j == 0 || rank != dedup[len(dedup)-1] {
+				dedup = append(dedup, rank)
+			}
+		}
+		groups[i].Ranks = dedup
 	}
 	return groups
 }

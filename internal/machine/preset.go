@@ -1,0 +1,27 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PresetNames lists the machine presets Preset resolves, in display
+// order — the single source of truth for CLI usage text (the CLI layers
+// its own choice formatting on top; this package stays dependency-free).
+var PresetNames = []string{"testbed640", "petascale2010", "exascale2018"}
+
+// Preset resolves a named machine design point. The empty name selects
+// the paper's testbed, so callers can thread an optional flag through
+// unchanged.
+func Preset(name string) (Config, error) {
+	switch name {
+	case "", "testbed640":
+		return Testbed640(), nil
+	case "petascale2010":
+		return Petascale2010(), nil
+	case "exascale2018":
+		return Exascale2018(), nil
+	}
+	return Config{}, fmt.Errorf("machine: unknown preset %q (have %s)",
+		name, strings.Join(PresetNames, ", "))
+}

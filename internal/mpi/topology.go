@@ -18,6 +18,31 @@ import "fmt"
 type Topology struct {
 	nodeOf []int
 	nodes  int
+	// Ranks grouped by node in CSR form: node n's ranks are
+	// rankIdx[rankStart[n]:rankStart[n+1]], ascending. Built once at
+	// construction so per-node lookups are O(1) rather than a scan over
+	// all ranks — planners query every node.
+	rankIdx   []int
+	rankStart []int
+}
+
+// index builds the by-node CSR grouping. nodeOf iterates in rank order,
+// so each node's slice comes out ascending.
+func (t *Topology) index() {
+	counts := make([]int, t.nodes)
+	for _, n := range t.nodeOf {
+		counts[n]++
+	}
+	t.rankStart = make([]int, t.nodes+1)
+	for i, c := range counts {
+		t.rankStart[i+1] = t.rankStart[i] + c
+	}
+	t.rankIdx = make([]int, len(t.nodeOf))
+	pos := append([]int(nil), t.rankStart[:t.nodes]...)
+	for r, n := range t.nodeOf {
+		t.rankIdx[pos[n]] = r
+		pos[n]++
+	}
 }
 
 // BlockTopology places size ranks onto consecutive nodes, ranksPerNode at
@@ -36,6 +61,7 @@ func BlockTopology(size, ranksPerNode int) (Topology, error) {
 		t.nodeOf[r] = r / ranksPerNode
 	}
 	t.nodes = (size + ranksPerNode - 1) / ranksPerNode
+	t.index()
 	return t, nil
 }
 
@@ -53,7 +79,9 @@ func ExplicitTopology(nodeOf []int) (Topology, error) {
 			max = n
 		}
 	}
-	return Topology{nodeOf: append([]int(nil), nodeOf...), nodes: max + 1}, nil
+	t := Topology{nodeOf: append([]int(nil), nodeOf...), nodes: max + 1}
+	t.index()
+	return t, nil
 }
 
 // Size returns the number of ranks.
@@ -66,12 +94,7 @@ func (t Topology) Nodes() int { return t.nodes }
 func (t Topology) NodeOf(rank int) int { return t.nodeOf[rank] }
 
 // RanksOnNode returns the ranks placed on a node, in ascending order.
+// The slice aliases the topology's index: callers must not modify it.
 func (t Topology) RanksOnNode(node int) []int {
-	var out []int
-	for r, n := range t.nodeOf {
-		if n == node {
-			out = append(out, r)
-		}
-	}
-	return out
+	return t.rankIdx[t.rankStart[node]:t.rankStart[node+1]]
 }

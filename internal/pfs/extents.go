@@ -1,7 +1,9 @@
 package pfs
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -60,7 +62,7 @@ func NormalizeExtents(exts []Extent) []Extent {
 			out = append(out, e)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	slices.SortFunc(out, func(a, b Extent) int { return cmp.Compare(a.Offset, b.Offset) })
 	merged := out[:0]
 	for _, e := range out {
 		if n := len(merged); n > 0 && e.Offset <= merged[n-1].End() {
@@ -89,13 +91,18 @@ func TotalBytes(exts []Extent) int64 {
 // file domain through a fixed-size collective buffer: round k covers data
 // bytes [k*buf, (k+1)*buf).
 func SliceData(exts []Extent, dataOff, n int64) []Extent {
+	return SliceDataAppend(nil, exts, dataOff, n)
+}
+
+// SliceDataAppend is SliceData appending to a caller-owned slice, so a
+// loop slicing many rounds reuses one allocation.
+func SliceDataAppend(out []Extent, exts []Extent, dataOff, n int64) []Extent {
 	if dataOff < 0 || n < 0 {
 		panic(fmt.Sprintf("pfs: negative data slice (%d,%d)", dataOff, n))
 	}
 	if n == 0 {
-		return nil
+		return out
 	}
-	var out []Extent
 	var pos int64
 	for _, e := range normalized(exts) {
 		if n <= 0 {
@@ -186,7 +193,109 @@ type TargetAccess struct {
 // extents land as many small object ranges, each a separate request. The
 // returned slice is sorted by target; targets untouched by the extents are
 // absent.
+//
+// The decomposition is closed-form: one extent spanning stripe units
+// [first, last] touches min(units, Targets) targets, and on each the
+// units it owns (first+i, first+i+Targets, ...) occupy consecutive
+// object-space stripe slots, so they form exactly one object range —
+// trimmed at the extremes by the extent's partial head and tail units.
+// The cost is O(targets touched) per extent, independent of extent
+// length, which is what lets the analytical engine price exabyte-scale
+// accesses. (mapExtentsByUnit is the per-unit walk this replaces, kept
+// as the property-test oracle.)
 func (c Config) MapExtents(exts []Extent) []TargetAccess {
+	out := c.NewMapper().Map(exts)
+	if out == nil {
+		out = []TargetAccess{}
+	}
+	return out
+}
+
+// Mapper is MapExtents with reusable scratch: after warm-up a Map call
+// allocates nothing, which matters to the analytical engine mapping one
+// slice per domain per round — millions of calls at exascale. Not safe
+// for concurrent use; the returned slice is overwritten by the next Map.
+type Mapper struct {
+	cfg     Config
+	accs    []mapAcc
+	touched []int
+	out     []TargetAccess
+}
+
+type mapAcc struct {
+	bytes    int64
+	requests int
+	lastEnd  int64
+	active   bool
+}
+
+// NewMapper builds a Mapper for the configuration.
+func (c Config) NewMapper() *Mapper {
+	return &Mapper{cfg: c, accs: make([]mapAcc, c.Targets)}
+}
+
+// Map decomposes the extents exactly as MapExtents does.
+func (m *Mapper) Map(exts []Extent) []TargetAccess {
+	su := m.cfg.StripeUnit
+	tn := int64(m.cfg.Targets)
+	for _, e := range normalized(exts) {
+		off, end := e.Offset, e.End()
+		firstUnit := off / su
+		lastUnit := (end - 1) / su
+		span := lastUnit - firstUnit + 1
+		if span > tn {
+			span = tn
+		}
+		for i := int64(0); i < span; i++ {
+			// Units on this target: u1, u1+tn, ..., u2.
+			u1 := firstUnit + i
+			u2 := u1 + ((lastUnit-u1)/tn)*tn
+			count := (u2-u1)/tn + 1
+			var head, tail int64
+			if u1 == firstUnit {
+				head = off - firstUnit*su
+			}
+			if u2 == lastUnit {
+				tail = (lastUnit+1)*su - end
+			}
+			a := &m.accs[u1%tn]
+			if !a.active {
+				a.active = true
+				a.lastEnd = -1
+				m.touched = append(m.touched, int(u1%tn))
+			}
+			a.bytes += count*su - head - tail
+			// Ranges arrive in ascending object order (extents are
+			// normalized and object offset is monotone in file offset per
+			// target), so merging is a single adjacency check, exactly as
+			// the per-unit walk's sort-and-merge would do.
+			objStart := (u1/tn)*su + head
+			if objStart > a.lastEnd {
+				a.requests++
+			}
+			a.lastEnd = (u2/tn)*su + su - tail
+		}
+	}
+	sort.Ints(m.touched)
+	m.out = m.out[:0]
+	for _, t := range m.touched {
+		a := &m.accs[t]
+		m.out = append(m.out, TargetAccess{
+			Target:     t,
+			Bytes:      a.bytes,
+			Requests:   a.requests,
+			Contiguous: a.requests == 1,
+		})
+		*a = mapAcc{}
+	}
+	m.touched = m.touched[:0]
+	return m.out
+}
+
+// mapExtentsByUnit is the original stripe-unit-by-stripe-unit
+// decomposition, O(bytes/StripeUnit) per extent. It survives as the
+// oracle the closed-form MapExtents is property-tested against.
+func (c Config) mapExtentsByUnit(exts []Extent) []TargetAccess {
 	type objRange struct{ off, end int64 }
 	perTarget := make(map[int][]objRange)
 	su := c.StripeUnit

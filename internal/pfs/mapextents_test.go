@@ -1,0 +1,66 @@
+package pfs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestMapExtentsMatchesUnitWalk drives the closed-form decomposition
+// against the original per-stripe-unit walk on randomized extent sets
+// and stripe geometries — the two must agree exactly on every target's
+// bytes, request count and contiguity.
+func TestMapExtentsMatchesUnitWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		cfg := Config{
+			Targets:    1 + rng.Intn(7),
+			StripeUnit: int64(1 + rng.Intn(64)),
+		}
+		var exts []Extent
+		for i, n := 0, rng.Intn(8); i < n; i++ {
+			exts = append(exts, Extent{
+				Offset: int64(rng.Intn(2048)),
+				Length: int64(rng.Intn(512)),
+			})
+		}
+		got := cfg.MapExtents(exts)
+		want := cfg.mapExtentsByUnit(exts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (targets=%d su=%d exts=%v):\nclosed-form: %+v\nunit walk:   %+v",
+				trial, cfg.Targets, cfg.StripeUnit, exts, got, want)
+		}
+	}
+}
+
+// TestMapExtentsLargeExtent checks the closed form on an extent far too
+// large for the unit walk to verify cheaply at real stripe sizes: a
+// single contiguous multi-cycle extent must land as one contiguous range
+// on every target with the bytes partitioned exactly.
+func TestMapExtentsLargeExtent(t *testing.T) {
+	cfg := Config{Targets: 1024, StripeUnit: 1 << 20}
+	length := int64(1) << 42 // 4 TiB: ~4M stripe units
+	accs := cfg.MapExtents([]Extent{{Offset: 12345, Length: length}})
+	if len(accs) != cfg.Targets {
+		t.Fatalf("touched %d targets, want %d", len(accs), cfg.Targets)
+	}
+	var total int64
+	for _, a := range accs {
+		if !a.Contiguous || a.Requests != 1 {
+			t.Fatalf("target %d: requests=%d contiguous=%v, want one contiguous range", a.Target, a.Requests, a.Contiguous)
+		}
+		total += a.Bytes
+	}
+	if total != length {
+		t.Fatalf("bytes sum %d, want %d", total, length)
+	}
+}
+
+func BenchmarkMapExtentsLarge(b *testing.B) {
+	cfg := DefaultConfig(1024)
+	exts := []Extent{{Offset: 0, Length: 1 << 40}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.MapExtents(exts)
+	}
+}

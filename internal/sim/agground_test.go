@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcio/internal/machine"
+)
+
+// aggregate folds a byte-path round into its aggregate form the way the
+// fast path does: one AggMessage per (src,dst) route with the total
+// bytes and the positive-byte message count.
+func aggregate(r Round) AggRound {
+	type route struct{ src, dst int }
+	idx := map[route]int{}
+	agg := AggRound{Kind: r.Kind, IOOps: r.IOOps, TraceMessages: len(r.Messages)}
+	for _, m := range r.Messages {
+		k := route{m.SrcNode, m.DstNode}
+		i, ok := idx[k]
+		if !ok {
+			i = len(agg.Messages)
+			idx[k] = i
+			agg.Messages = append(agg.Messages, AggMessage{SrcNode: m.SrcNode, DstNode: m.DstNode})
+		}
+		agg.Messages[i].Bytes += m.Bytes
+		if m.Bytes > 0 {
+			agg.Messages[i].Count++
+		}
+	}
+	return agg
+}
+
+// TestRunAggRoundMatchesRunRound feeds the same randomized traffic to
+// one engine as point-to-point messages and to a second as per-route
+// bundles, and demands bit-identical costs, totals and trace entries —
+// the invariant the analytical fast path rests on.
+func TestRunAggRoundMatchesRunRound(t *testing.T) {
+	mc := machine.Testbed640()
+	st := StorageParams{Targets: 8, TargetBW: 500e6, ReqOverhead: 0.5e-3, NoncontigFactor: 4, ReadBWFactor: 1.25}
+	for _, overlap := range []bool{false, true} {
+		opt := DefaultOptions()
+		opt.Overlap = overlap
+		opt.Trace = true
+		byteEng, err := NewEngine(mc, st, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggEng, err := NewEngine(mc, st, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggs := []AggregatorPlacement{
+			{Node: 0, BufferBytes: 16 << 20, PagedSeverity: 0},
+			{Node: 1, BufferBytes: 16 << 20, PagedSeverity: 0.4},
+			{Node: 1, BufferBytes: 16 << 20, PagedSeverity: 0.1},
+			{Node: 2, BufferBytes: 16 << 20, PagedSeverity: 1},
+		}
+		byteEng.SetAggregators(aggs)
+		aggEng.SetAggregators(aggs)
+		for _, e := range []*Engine{byteEng, aggEng} {
+			e.SetNodeSlowdown(2, 1.8)
+			e.SetTargetSlowdown(3, 2.5)
+		}
+
+		rng := rand.New(rand.NewSource(7))
+		for round := 0; round < 20; round++ {
+			var r Round
+			if round%5 == 0 {
+				r.Kind = RoundMetadata
+			}
+			nMsgs := rng.Intn(40)
+			for i := 0; i < nMsgs; i++ {
+				b := int64(rng.Intn(1 << 20))
+				if rng.Intn(8) == 0 {
+					b = 0 // zero-byte messages are skipped but trace-counted
+				}
+				r.Messages = append(r.Messages, Message{
+					SrcNode: rng.Intn(6), DstNode: rng.Intn(6), Bytes: b,
+				})
+			}
+			if r.Kind == RoundData {
+				nOps := rng.Intn(6)
+				for i := 0; i < nOps; i++ {
+					r.IOOps = append(r.IOOps, IOOp{
+						Target:     rng.Intn(st.Targets),
+						Node:       rng.Intn(6),
+						Bytes:      int64(rng.Intn(4 << 20)),
+						Requests:   1 + rng.Intn(5),
+						Contiguous: rng.Intn(2) == 0,
+						Write:      rng.Intn(2) == 0,
+					})
+				}
+			}
+			got := aggEng.RunAggRound(aggregate(r))
+			want := byteEng.RunRound(r)
+			if got != want {
+				t.Fatalf("overlap=%v round %d: agg cost %+v != byte cost %+v", overlap, round, got, want)
+			}
+		}
+		if gt, wt := aggEng.Totals(), byteEng.Totals(); !reflect.DeepEqual(gt, wt) {
+			t.Fatalf("overlap=%v: totals diverge:\nagg:  %+v\nbyte: %+v", overlap, gt, wt)
+		}
+		if gt, wt := aggEng.Trace(), byteEng.Trace(); !reflect.DeepEqual(gt, wt) {
+			t.Fatalf("overlap=%v: traces diverge", overlap)
+		}
+	}
+}
+
+// TestAccExchangeMatchesMessages expands randomized all-to-all bundles
+// into their constituent per-rank messages and demands that an Exchange
+// prices bit-identically to the dense message form — including sources
+// that are themselves destination nodes (intra-node deliveries).
+func TestAccExchangeMatchesMessages(t *testing.T) {
+	mc := machine.Testbed640()
+	st := StorageParams{Targets: 4, TargetBW: 500e6, ReqOverhead: 0.5e-3, NoncontigFactor: 4, ReadBWFactor: 1.25}
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		opt := DefaultOptions()
+		opt.Overlap = trial%2 == 0
+		opt.Trace = true
+		byteEng, err := NewEngine(mc, st, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exEng, err := NewEngine(mc, st, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random exchange: a handful of source nodes, each with 1-3
+		// sending ranks, and destination slots that overlap the sources.
+		var x Exchange
+		var msgs Round
+		msgs.Kind = RoundMetadata
+		nSrc := 1 + rng.Intn(5)
+		nDst := 1 + rng.Intn(4)
+		for d := 0; d < nDst; d++ {
+			x.Dsts = append(x.Dsts, ExchangeDst{Node: rng.Intn(6), Slots: rng.Intn(3)})
+		}
+		for s := 0; s < nSrc; s++ {
+			node := rng.Intn(6)
+			ranks := 1 + rng.Intn(3)
+			var bytes int64
+			perRank := make([]int64, ranks)
+			for i := range perRank {
+				perRank[i] = int64(1 + rng.Intn(4096))
+				bytes += perRank[i]
+			}
+			x.Srcs = append(x.Srcs, ExchangeSrc{Node: node, Bytes: bytes, Count: ranks})
+			for _, d := range x.Dsts {
+				for s := 0; s < d.Slots; s++ {
+					for _, b := range perRank {
+						msgs.Messages = append(msgs.Messages, Message{SrcNode: node, DstNode: d.Node, Bytes: b})
+					}
+				}
+			}
+		}
+		want := byteEng.RunRound(msgs)
+		got := exEng.RunAggRound(AggRound{Kind: RoundMetadata, Exchanges: []Exchange{x}})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: round costs diverge\nexchange: %+v\nmessages: %+v", trial, got, want)
+		}
+		if !reflect.DeepEqual(exEng.Totals(), byteEng.Totals()) {
+			t.Fatalf("trial %d: totals diverge\nexchange: %+v\nmessages: %+v", trial, exEng.Totals(), byteEng.Totals())
+		}
+		if !reflect.DeepEqual(exEng.Trace(), byteEng.Trace()) {
+			t.Fatalf("trial %d: traces diverge", trial)
+		}
+	}
+}

@@ -23,13 +23,13 @@ package sim
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strconv"
 
 	"mcio/internal/machine"
 	"mcio/internal/obs"
 	"mcio/internal/obs/timeline"
+	"mcio/internal/sim/pricing"
 )
 
 // StorageParams prices accesses to the parallel-file-system targets.
@@ -47,10 +47,18 @@ type StorageParams struct {
 
 // readBW returns the effective streaming bandwidth for reads.
 func (s StorageParams) readBW() float64 {
-	if s.ReadBWFactor <= 0 {
-		return s.TargetBW
+	return s.pricing().StreamBW(false)
+}
+
+// pricing converts the per-target parameters into the shared pricing
+// core's storage model.
+func (s StorageParams) pricing() pricing.Storage {
+	return pricing.Storage{
+		TargetBW:        s.TargetBW,
+		ReadBWFactor:    s.ReadBWFactor,
+		ReqOverhead:     s.ReqOverhead,
+		NoncontigFactor: s.NoncontigFactor,
 	}
-	return s.TargetBW * s.ReadBWFactor
 }
 
 // Validate reports an error for parameters the engine cannot price.
@@ -207,12 +215,13 @@ type Totals struct {
 	PerNodeShuffle map[int]int64
 }
 
-// Comm-phase binding resources for Binding.CommResource.
+// Comm-phase binding resources for Binding.CommResource, aliased from
+// the shared pricing core.
 const (
-	BindNICOut  = "nic-out"
-	BindNICIn   = "nic-in"
-	BindMem     = "mem"
-	BindLatency = "latency"
+	BindNICOut  = pricing.BindNICOut
+	BindNICIn   = pricing.BindNICIn
+	BindMem     = pricing.BindMem
+	BindLatency = pricing.BindLatency
 )
 
 // Binding identifies the resources that bounded one round: the node whose
@@ -564,21 +573,14 @@ func (e *Engine) nodeSlowdown(node int) float64 {
 // interpolates linearly between full speed (1x) and running the buffer at
 // PagedBandwidthFraction of DRAM speed.
 func (e *Engine) pagedSlowdown(node int) float64 {
-	s := e.paged[node]
-	if s <= 0 {
-		return 1
-	}
-	return 1 / (1 - s*(1-e.mc.PagedBandwidthFraction))
+	return pricing.PagedSlowdown(e.paged[node], e.mc.PagedBandwidthFraction)
 }
 
 // effMemBW returns the node's effective off-chip bandwidth for shuffle
 // traffic given paging state and aggregator contention.
 func (e *Engine) effMemBW(node int) float64 {
-	bw := e.mc.MemBandwidth / e.pagedSlowdown(node) / e.nodeSlowdown(node)
-	if k := e.aggsPer[node]; k > e.opt.NahOpt {
-		bw /= 1 + e.opt.ContentionBeta*float64(k-e.opt.NahOpt)
-	}
-	return bw
+	return pricing.EffMemBW(e.mc.MemBandwidth, e.pagedSlowdown(node), e.nodeSlowdown(node),
+		e.aggsPer[node], e.opt.NahOpt, e.opt.ContentionBeta)
 }
 
 // nodeLoad accumulates one node's traffic within a round.
@@ -610,137 +612,362 @@ func (e *Engine) RunRound(r Round) RoundCost { return e.runRound(r, false) }
 // and trace.
 func (e *Engine) RunRecoveryRound(r Round) RoundCost { return e.runRound(r, true) }
 
-func (e *Engine) runRound(r Round, recovery bool) RoundCost {
-	// Recycle the previous round's scratch: drained maps feed the
-	// freelists so steady-state rounds allocate nothing.
-	loads := e.scLoads
-	for n, l := range loads {
+// AggMessage is a bundle of same-route messages within a round: the
+// total payload and the number of positive-byte point-to-point messages
+// it stands for. The analytical fast path prices one AggMessage per
+// (source node, destination node) pair instead of one Message per rank.
+type AggMessage struct {
+	SrcNode int
+	DstNode int
+	Bytes   int64 // total payload across the constituent messages
+	Count   int   // number of positive-byte constituent messages
+}
+
+// Exchange is an all-to-all bundle within a round: every source entry
+// ships its bytes to every destination slot. It is the aggregate form of
+// the metadata scatter of collective I/O — each member rank sending its
+// flattened extent list to each group aggregator — whose per-route form
+// is dense (source nodes × aggregator nodes) and therefore quadratic to
+// even enumerate at scale. The engine prices an Exchange in
+// O(sources + destinations) from the row and column totals.
+type Exchange struct {
+	Srcs []ExchangeSrc
+	Dsts []ExchangeDst
+}
+
+// ExchangeSrc is one sending node's side of an Exchange.
+type ExchangeSrc struct {
+	Node  int
+	Bytes int64 // positive payload total across the node's sending ranks
+	Count int   // sending ranks (each emits one positive-byte message per slot)
+}
+
+// ExchangeDst is one receiving node's side of an Exchange.
+type ExchangeDst struct {
+	Node  int
+	Slots int // receiving slots (aggregators) hosted on the node
+}
+
+// AggRound is the aggregate form of a Round: per-route message bundles
+// and all-to-all exchanges, plus the same per-target IOOps (storage
+// accesses are already aggregated per target on the byte path, so they
+// need no new form).
+type AggRound struct {
+	Messages  []AggMessage
+	Exchanges []Exchange
+	IOOps     []IOOp
+	// Kind tags the round for blame attribution, as in Round.
+	Kind string
+	// TraceMessages is the number of point-to-point messages the round
+	// stands for including zero-byte ones the engine skips — what
+	// TraceEntry.Messages reports on the byte path. Zero means "use the
+	// sum of Count".
+	TraceMessages int
+}
+
+// RunAggRound prices one aggregate round and accumulates it into the
+// totals, exactly as if RunRound had been fed the constituent
+// point-to-point messages. The engine reduces messages to per-node byte
+// loads before pricing, so the only rounding difference is the DRAM
+// charge int64(MemCopyFactor*bytes), computed once per bundle instead of
+// once per message: for integral MemCopyFactor (the default 2) the two
+// are bit-identical; otherwise they differ by at most one byte per
+// constituent message.
+func (e *Engine) RunAggRound(r AggRound) RoundCost {
+	e.beginRound()
+	var commBytes int64
+	nMsgs := 0
+	for _, m := range r.Messages {
+		if m.Count < 0 {
+			panic("sim: negative message count")
+		}
+		e.accMessage(m.SrcNode, m.DstNode, m.Bytes, m.Count)
+		commBytes += m.Bytes
+		nMsgs += m.Count
+	}
+	for _, x := range r.Exchanges {
+		cb, n := e.accExchange(x)
+		commBytes += cb
+		nMsgs += n
+	}
+	if r.TraceMessages > 0 {
+		nMsgs = r.TraceMessages
+	}
+	var ioBytes int64
+	ioDir := ""
+	for _, op := range r.IOOps {
+		e.accIOOp(op)
+		ioBytes += op.Bytes
+		ioDir = mergeIODir(ioDir, op.Write)
+	}
+	return e.finishRound(r.Kind, false, nMsgs, len(r.IOOps), commBytes, ioBytes, ioDir)
+}
+
+// beginRound recycles the previous round's scratch: drained maps feed
+// the freelists so steady-state rounds allocate nothing.
+func (e *Engine) beginRound() {
+	for n, l := range e.scLoads {
 		*l = nodeLoad{}
 		e.freeLoads = append(e.freeLoads, l)
-		delete(loads, n)
+		delete(e.scLoads, n)
 	}
-	load := func(n int) *nodeLoad {
-		l := loads[n]
-		if l == nil {
-			if k := len(e.freeLoads); k > 0 {
-				l = e.freeLoads[k-1]
-				e.freeLoads = e.freeLoads[:k-1]
-			} else {
-				l = &nodeLoad{}
-			}
-			loads[n] = l
-		}
-		return l
-	}
-
-	for _, m := range r.Messages {
-		if m.Bytes < 0 {
-			panic("sim: negative message size")
-		}
-		if m.Bytes == 0 {
-			continue
-		}
-		e.totals.ShufBytes += m.Bytes
-		e.totals.PerNodeShuffle[m.SrcNode] += m.Bytes
-		if m.SrcNode == m.DstNode {
-			// Intra-node: two extra DRAM crossings, no NIC.
-			l := load(m.SrcNode)
-			l.mem += int64(e.opt.MemCopyFactor * float64(m.Bytes) * 2)
-			l.msgs++
-			continue
-		}
-		e.totals.NetBytes += m.Bytes
-		e.totals.PerNodeShuffle[m.DstNode] += m.Bytes
-		src, dst := load(m.SrcNode), load(m.DstNode)
-		src.out += m.Bytes
-		dst.in += m.Bytes
-		src.mem += int64(e.opt.MemCopyFactor * float64(m.Bytes))
-		dst.mem += int64(e.opt.MemCopyFactor * float64(m.Bytes))
-		src.msgs++
-		dst.msgs++
-	}
-
-	// Storage accesses also traverse the issuing node's NIC and DRAM.
-	targets := e.scTargets
-	for t, tl := range targets {
+	for t, tl := range e.scTargets {
 		*tl = targetLoad{}
 		e.freeTargets = append(e.freeTargets, tl)
-		delete(targets, t)
+		delete(e.scTargets, t)
 	}
-	for _, op := range r.IOOps {
-		if op.Bytes < 0 {
-			panic("sim: negative I/O size")
+}
+
+// load returns the round's accumulator for a node, creating it from the
+// freelist on first touch.
+func (e *Engine) load(n int) *nodeLoad {
+	l := e.scLoads[n]
+	if l == nil {
+		if k := len(e.freeLoads); k > 0 {
+			l = e.freeLoads[k-1]
+			e.freeLoads = e.freeLoads[:k-1]
+		} else {
+			l = &nodeLoad{}
 		}
-		if op.Target < 0 || op.Target >= e.st.Targets {
-			panic(fmt.Sprintf("sim: I/O op for target %d outside [0,%d)", op.Target, e.st.Targets))
+		e.scLoads[n] = l
+	}
+	return l
+}
+
+// target is load's counterpart for storage targets.
+func (e *Engine) target(t int) *targetLoad {
+	tl := e.scTargets[t]
+	if tl == nil {
+		if k := len(e.freeTargets); k > 0 {
+			tl = e.freeTargets[k-1]
+			e.freeTargets = e.freeTargets[:k-1]
+		} else {
+			tl = &targetLoad{}
 		}
-		if op.Bytes == 0 && op.Requests == 0 {
+		e.scTargets[t] = tl
+	}
+	return tl
+}
+
+// accMessage accumulates a message bundle (count positive-byte messages
+// totalling bytes on one src→dst route) into the round's node loads.
+// The byte path calls it with count 1 per Message.
+func (e *Engine) accMessage(src, dst int, bytes int64, count int) {
+	if bytes < 0 {
+		panic("sim: negative message size")
+	}
+	if bytes == 0 {
+		return
+	}
+	e.totals.ShufBytes += bytes
+	e.totals.PerNodeShuffle[src] += bytes
+	if src == dst {
+		// Intra-node: two extra DRAM crossings, no NIC.
+		l := e.load(src)
+		l.mem += pricing.IntraMemCopy(e.opt.MemCopyFactor, bytes)
+		l.msgs += count
+		return
+	}
+	e.totals.NetBytes += bytes
+	e.totals.PerNodeShuffle[dst] += bytes
+	sl, dl := e.load(src), e.load(dst)
+	sl.out += bytes
+	dl.in += bytes
+	sl.mem += pricing.MemCopy(e.opt.MemCopyFactor, bytes)
+	dl.mem += pricing.MemCopy(e.opt.MemCopyFactor, bytes)
+	sl.msgs += count
+	dl.msgs += count
+}
+
+// accExchange accumulates an all-to-all bundle into the round's node
+// loads without enumerating routes: each endpoint's load depends only on
+// its own entry and the exchange totals (minus its intra-node share), so
+// the cost is linear in endpoints. Per-node sums equal what accMessage
+// over the dense (src, dst) product would produce; as with AggMessage
+// bundles, the DRAM charge rounds once per aggregate, bit-identical for
+// integral MemCopyFactor. Returns the total bytes moved and the number
+// of constituent point-to-point messages.
+func (e *Engine) accExchange(x Exchange) (commBytes int64, msgs int) {
+	var slots int64
+	for _, d := range x.Dsts {
+		if d.Slots < 0 {
+			panic("sim: negative exchange slots")
+		}
+		slots += int64(d.Slots)
+	}
+	var totalBytes int64
+	totalCount := 0
+	for _, s := range x.Srcs {
+		if s.Bytes < 0 {
+			panic("sim: negative exchange size")
+		}
+		if s.Count < 0 {
+			panic("sim: negative exchange count")
+		}
+		totalBytes += s.Bytes
+		totalCount += s.Count
+	}
+	if slots == 0 || totalBytes == 0 {
+		return 0, 0
+	}
+	// Intra-node split inputs: receiving slots per source node, sent
+	// bytes per destination node.
+	slotsAt := make(map[int]int64, len(x.Dsts))
+	for _, d := range x.Dsts {
+		slotsAt[d.Node] += int64(d.Slots)
+	}
+	sentAt := make(map[int]ExchangeSrc, len(x.Srcs))
+	for _, s := range x.Srcs {
+		a := sentAt[s.Node]
+		a.Bytes += s.Bytes
+		a.Count += s.Count
+		sentAt[s.Node] = a
+	}
+	f := e.opt.MemCopyFactor
+	for _, s := range x.Srcs {
+		if s.Bytes == 0 {
 			continue
 		}
-		e.totals.IOBytes += op.Bytes
-		e.totals.Requests += op.Requests
-		l := load(op.Node)
+		e.totals.ShufBytes += s.Bytes * slots
+		e.totals.PerNodeShuffle[s.Node] += s.Bytes * slots
+		l := e.load(s.Node)
+		if ms := slotsAt[s.Node]; ms > 0 {
+			// Intra-node deliveries: two extra DRAM crossings, no NIC.
+			l.mem += pricing.IntraMemCopy(f, s.Bytes*ms)
+			l.msgs += s.Count * int(ms)
+		}
+		if inter := slots - slotsAt[s.Node]; inter > 0 {
+			e.totals.NetBytes += s.Bytes * inter
+			l.out += s.Bytes * inter
+			l.mem += pricing.MemCopy(f, s.Bytes*inter)
+			l.msgs += s.Count * int(inter)
+		}
+		commBytes += s.Bytes * slots
+		msgs += s.Count * int(slots)
+	}
+	for _, d := range x.Dsts {
+		if d.Slots == 0 {
+			continue
+		}
+		own := sentAt[d.Node]
+		recvBytes := (totalBytes - own.Bytes) * int64(d.Slots)
+		if recvBytes == 0 {
+			continue
+		}
+		e.totals.PerNodeShuffle[d.Node] += recvBytes
+		l := e.load(d.Node)
+		l.in += recvBytes
+		l.mem += pricing.MemCopy(f, recvBytes)
+		l.msgs += (totalCount - own.Count) * d.Slots
+	}
+	return commBytes, msgs
+}
+
+// accIOOp accumulates one storage access into the round's node and
+// target loads. Storage accesses also traverse the issuing node's NIC
+// and DRAM.
+func (e *Engine) accIOOp(op IOOp) {
+	if op.Bytes < 0 {
+		panic("sim: negative I/O size")
+	}
+	if op.Target < 0 || op.Target >= e.st.Targets {
+		panic(fmt.Sprintf("sim: I/O op for target %d outside [0,%d)", op.Target, e.st.Targets))
+	}
+	if op.Bytes == 0 && op.Requests == 0 {
+		return
+	}
+	e.totals.IOBytes += op.Bytes
+	e.totals.Requests += op.Requests
+	l := e.load(op.Node)
+	if op.Write {
+		l.out += op.Bytes
+	} else {
+		l.in += op.Bytes
+	}
+	l.mem += pricing.MemCopy(e.opt.MemCopyFactor, op.Bytes)
+	tl := e.target(op.Target)
+	if op.DelaySeconds < 0 {
+		panic("sim: negative I/O delay")
+	}
+	// A paged or straggling issuing node drains/fills its aggregation
+	// buffer at degraded speed, throttling the storage access it
+	// drives; injected retry/degradation delay is charged on top.
+	unpaged := e.st.pricing().ServiceTime(op.Bytes, op.Requests, op.Contiguous, op.Write) * e.nodeSlowdown(op.Node)
+	delay := op.DelaySeconds
+	// A gray-degraded target serves every access slower; the excess
+	// over healthy service counts as fault delay, not honest work.
+	// Degraded (breaker fast-fail) accesses never waited on the
+	// slowed service path, so they skip the multiplier.
+	if f := e.targetSlowdown(op.Target); f > 1 && !op.Degraded {
+		delay += unpaged * (f - 1)
+	}
+	tl.time += unpaged*e.pagedSlowdown(op.Node) + delay
+	tl.pagedExcess += unpaged * (e.pagedSlowdown(op.Node) - 1)
+	tl.delay += delay
+	tl.bytes += op.Bytes
+	tl.requests += op.Requests
+	if !op.Contiguous {
+		tl.seek += op.Bytes
+	}
+	if eo := e.eo; eo != nil {
+		metric := "pfs.bytes_read"
 		if op.Write {
-			l.out += op.Bytes
+			metric = "pfs.bytes_written"
+		}
+		eo.counter(metric, "ost", op.Target).Add(op.Bytes)
+		eo.counter("pfs.requests", "ost", op.Target).Add(int64(op.Requests))
+		if op.Contiguous {
+			eo.counter("pfs.stream_bytes", "ost", op.Target).Add(op.Bytes)
 		} else {
-			l.in += op.Bytes
-		}
-		l.mem += int64(e.opt.MemCopyFactor * float64(op.Bytes))
-		bw := e.st.TargetBW
-		if !op.Write {
-			bw = e.st.readBW()
-		}
-		stream := float64(op.Bytes) / bw
-		if !op.Contiguous {
-			stream *= e.st.NoncontigFactor
-		}
-		tl := targets[op.Target]
-		if tl == nil {
-			if k := len(e.freeTargets); k > 0 {
-				tl = e.freeTargets[k-1]
-				e.freeTargets = e.freeTargets[:k-1]
-			} else {
-				tl = &targetLoad{}
-			}
-			targets[op.Target] = tl
-		}
-		if op.DelaySeconds < 0 {
-			panic("sim: negative I/O delay")
-		}
-		// A paged or straggling issuing node drains/fills its aggregation
-		// buffer at degraded speed, throttling the storage access it
-		// drives; injected retry/degradation delay is charged on top.
-		unpaged := (e.st.ReqOverhead*float64(op.Requests) + stream) * e.nodeSlowdown(op.Node)
-		delay := op.DelaySeconds
-		// A gray-degraded target serves every access slower; the excess
-		// over healthy service counts as fault delay, not honest work.
-		// Degraded (breaker fast-fail) accesses never waited on the
-		// slowed service path, so they skip the multiplier.
-		if f := e.targetSlowdown(op.Target); f > 1 && !op.Degraded {
-			delay += unpaged * (f - 1)
-		}
-		tl.time += unpaged*e.pagedSlowdown(op.Node) + delay
-		tl.pagedExcess += unpaged * (e.pagedSlowdown(op.Node) - 1)
-		tl.delay += delay
-		tl.bytes += op.Bytes
-		tl.requests += op.Requests
-		if !op.Contiguous {
-			tl.seek += op.Bytes
-		}
-		if eo := e.eo; eo != nil {
-			metric := "pfs.bytes_read"
-			if op.Write {
-				metric = "pfs.bytes_written"
-			}
-			eo.counter(metric, "ost", op.Target).Add(op.Bytes)
-			eo.counter("pfs.requests", "ost", op.Target).Add(int64(op.Requests))
-			if op.Contiguous {
-				eo.counter("pfs.stream_bytes", "ost", op.Target).Add(op.Bytes)
-			} else {
-				eo.counter("pfs.noncontig_bytes", "ost", op.Target).Add(op.Bytes)
-			}
+			eo.counter("pfs.noncontig_bytes", "ost", op.Target).Add(op.Bytes)
 		}
 	}
+}
+
+// mergeIODir folds one access's direction into the round's direction
+// tag: "write", "read", "mixed", or "" when no I/O was seen yet.
+func mergeIODir(dir string, write bool) string {
+	d := "read"
+	if write {
+		d = "write"
+	}
+	switch dir {
+	case "":
+		return d
+	case d:
+		return dir
+	default:
+		return "mixed"
+	}
+}
+
+func (e *Engine) runRound(r Round, recovery bool) RoundCost {
+	e.beginRound()
+	for _, m := range r.Messages {
+		e.accMessage(m.SrcNode, m.DstNode, m.Bytes, 1)
+	}
+	for _, op := range r.IOOps {
+		e.accIOOp(op)
+	}
+	var commBytes, ioBytes int64
+	for _, m := range r.Messages {
+		commBytes += m.Bytes
+	}
+	ioDir := ""
+	for _, op := range r.IOOps {
+		ioBytes += op.Bytes
+		ioDir = mergeIODir(ioDir, op.Write)
+	}
+	return e.finishRound(r.Kind, recovery, len(r.Messages), len(r.IOOps), commBytes, ioBytes, ioDir)
+}
+
+// finishRound prices the accumulated node and target loads, folds the
+// round into the totals, and publishes trace/timeline/observability
+// records. traceMsgs/traceOps are the constituent counts reported in
+// the trace entry; commBytes/ioBytes/ioDir summarize the round's
+// traffic for the same consumers.
+func (e *Engine) finishRound(kind string, recovery bool, traceMsgs, traceOps int, commBytes, ioBytes int64, ioDir string) RoundCost {
+	loads, targets := e.scLoads, e.scTargets
 
 	// Node iteration is sorted so bottleneck ties and emitted spans are
 	// deterministic run to run.
@@ -766,33 +993,13 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 	for i, n := range nodeIDs {
 		l := loads[n]
 		slow := e.pagedSlowdown(n) * e.nodeSlowdown(n)
-		tout := float64(l.out) / e.mc.NICBandwidth * slow
-		tin := float64(l.in) / e.mc.NICBandwidth * slow
-		tm := float64(l.mem) / e.effMemBW(n)
-		tlat := float64(l.msgs) * e.mc.NetLatency
-		t := tout
-		res := BindNICOut
-		if tin > t {
-			t, res = tin, BindNICIn
-		}
-		if tm > t {
-			t, res = tm, BindMem
-		}
-		if tlat > t {
-			res = BindLatency
-		}
-		t += tlat
+		t, res, tlat := pricing.CommTime(pricing.NodeLoad{In: l.in, Out: l.out, Mem: l.mem, Msgs: l.msgs},
+			e.mc.NICBandwidth, slow, e.effMemBW(n), e.mc.NetLatency)
 		nodeTime[i] = t
 		if t > comm {
 			comm = t
 			binding.CommNode, binding.CommResource = n, res
-			// Every byte-stream term of t scales linearly in the node's
-			// paging slowdown; the latency term does not. The paging blame
-			// is the excess over the unpaged time of the same traffic.
-			commPagedFrac = 0
-			if pg := e.pagedSlowdown(n); pg > 1 && t > 0 {
-				commPagedFrac = (t - tlat) * (1 - 1/pg) / t
-			}
+			commPagedFrac = pricing.PagedCommFraction(t, tlat, e.pagedSlowdown(n))
 		}
 	}
 	var io, ioPagedFrac, ioDelayFrac float64
@@ -808,27 +1015,9 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 		}
 	}
 	binding.CommBound = comm >= io
-	ioDir := ""
-	for _, op := range r.IOOps {
-		d := "read"
-		if op.Write {
-			d = "write"
-		}
-		switch ioDir {
-		case "":
-			ioDir = d
-		case d:
-		default:
-			ioDir = "mixed"
-		}
-	}
 
 	rc := RoundCost{CommTime: comm, IOTime: io}
-	if e.opt.Overlap {
-		rc.Time = math.Max(comm, io)
-	} else {
-		rc.Time = comm + io
-	}
+	rc.Time = pricing.RoundWall(comm, io, e.opt.Overlap)
 
 	start := e.totals.Time
 	round := e.totals.Rounds
@@ -841,24 +1030,17 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 		e.totals.RecoverySeconds += rc.Time
 	}
 
-	var commBytes, ioBytes int64
-	for _, m := range r.Messages {
-		commBytes += m.Bytes
-	}
-	for _, op := range r.IOOps {
-		ioBytes += op.Bytes
-	}
 	if e.opt.Trace {
 		e.trace = append(e.trace, TraceEntry{
 			Round:         round,
 			Cost:          rc,
-			Messages:      len(r.Messages),
-			IOOps:         len(r.IOOps),
+			Messages:      traceMsgs,
+			IOOps:         traceOps,
 			CommBytes:     commBytes,
 			IOBytes:       ioBytes,
 			Binding:       binding,
 			Recovery:      recovery,
-			Kind:          r.Kind,
+			Kind:          kind,
 			CommPagedFrac: commPagedFrac,
 			IOPagedFrac:   ioPagedFrac,
 			IODelayFrac:   ioDelayFrac,
@@ -866,7 +1048,7 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 		})
 	}
 	if e.rec != nil {
-		e.recordRound(start, rc, r.Kind, recovery, nodeIDs, nodeTime, loads, targetIDs, targets)
+		e.recordRound(start, rc, kind, recovery, nodeIDs, nodeTime, loads, targetIDs, targets)
 	}
 	if eo := e.eo; eo != nil {
 		eo.emitRound(roundEmit{
@@ -881,7 +1063,7 @@ func (e *Engine) runRound(r Round, recovery bool) RoundCost {
 			targets:  targets, targetIDs: targetIDs,
 			commBytes: commBytes, ioBytes: ioBytes,
 			recovery:      recovery,
-			kind:          r.Kind,
+			kind:          kind,
 			commPagedFrac: commPagedFrac,
 			ioPagedFrac:   ioPagedFrac,
 			ioDelayFrac:   ioDelayFrac,
