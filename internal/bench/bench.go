@@ -66,6 +66,16 @@ func SetEngine(name string) error {
 	return nil
 }
 
+// currentEngineOverride returns the process-wide engine override, or ""
+// when each experiment picks its own. Experiments that cannot honor an
+// override (the chaos campaigns execute real byte-level collectives)
+// read it to reject rather than silently ignore.
+func currentEngineOverride() string {
+	engineOverride.Lock()
+	defer engineOverride.Unlock()
+	return engineOverride.name
+}
+
 // engine resolves the pricing engine a sweep over c runs on: the
 // process-wide override when set, else c.Engine, else the byte path.
 func (c Config) engine() string {
@@ -143,8 +153,24 @@ func (c Config) Validate() error {
 	if c.Engine != "" && c.Engine != EngineBytes && c.Engine != EngineFast {
 		return fmt.Errorf("bench %s: %w", c.Name, cliutil.UnknownChoice("engine", c.Engine, Engines))
 	}
-	if _, err := machine.Preset(c.Preset); err != nil {
+	preset, err := machine.Preset(c.Preset)
+	if err != nil {
 		return fmt.Errorf("bench %s: %w", c.Name, err)
+	}
+	// Preset × sweep conflict: context() clamps per-node availability to
+	// the machine's DRAM, so a sweep point whose mean endowment exceeds
+	// MemPerNode would silently flatten against the clamp instead of
+	// measuring anything. Reject the combination outright.
+	headroom := c.HeadroomFactor
+	if headroom <= 0 {
+		headroom = 1
+	}
+	for _, m := range c.MemMB {
+		mean := float64(c.scaled(int64(m)*MB)) * headroom
+		if mean > float64(preset.MemPerNode) {
+			return fmt.Errorf("bench %s: memory sweep point %d MB (scale %d, headroom %g) asks for %.0f bytes per node, but preset %q has only %d; shrink the sweep or pick a larger machine",
+				c.Name, m, c.Scale, headroom, mean, preset.Name, preset.MemPerNode)
+		}
 	}
 	return nil
 }

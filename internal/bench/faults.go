@@ -6,6 +6,7 @@ import (
 
 	"mcio/internal/collio"
 	"mcio/internal/core"
+	"mcio/internal/fastsim"
 	"mcio/internal/faults"
 	"mcio/internal/obs"
 	"mcio/internal/sim"
@@ -18,12 +19,14 @@ import (
 // MTBFs.
 func faultRates() []float64 { return []float64{0, 0.5, 1, 2, 4} }
 
-// faultedRun prices one strategy under one fault schedule. For the
-// memory-conscious strategy the plan is rebuilt per run — recovery
-// mutates its partition trees — while the baseline's static plan is
-// reusable; both are deterministic functions of (cfg, seed, rate).
+// faultedRun prices one strategy under one fault schedule with the
+// requested engine. For the memory-conscious strategy the plan is
+// rebuilt per run — recovery mutates its partition trees — while the
+// baseline's static plan is reusable; both are deterministic functions
+// of (cfg, seed, rate), and both engines price any cell bit-identically
+// (the CI cross-check gate holds them to it).
 func faultedRun(ctx *collio.Context, reqs []collio.RankRequest, strategy string,
-	opt sim.Options, spec faults.Spec) (*collio.FaultResult, error) {
+	opt sim.Options, spec faults.Spec, engine string) (*collio.FaultResult, error) {
 	fplan, err := spec.Generate(ctx.Topo.Nodes(), ctx.FS.Targets)
 	if err != nil {
 		return nil, err
@@ -52,6 +55,9 @@ func faultedRun(ctx *collio.Context, reqs []collio.RankRequest, strategy string,
 	}
 	if err := plan.Validate(reqs); err != nil {
 		return nil, err
+	}
+	if engine == EngineFast {
+		return fastsim.CostWithFaults(ctx, plan, reqs, collio.Write, opt, inj, handler)
 	}
 	return collio.CostWithFaults(ctx, plan, reqs, collio.Write, opt, inj, handler)
 }
@@ -92,6 +98,7 @@ func faultSweepRun(scale int64, seed uint64) ([]FaultPoint, error) {
 	opt.Overlap = cfg.Overlap
 	opt.NahOpt = cfg.nahOrDefault()
 	opt.Trace = true
+	engine := cfg.engine()
 
 	// Fault-free reference per strategy: the overhead denominator and the
 	// fault horizon (schedules span 4× the clean run so mid-operation
@@ -102,7 +109,7 @@ func faultSweepRun(scale int64, seed uint64) ([]FaultPoint, error) {
 	strategies := []string{"two-phase", "memory-conscious"}
 	refs := make([]float64, len(strategies))
 	err = ForEach(len(strategies), func(si int) error {
-		res, err := faultedRun(ctx, reqs, strategies[si], opt, faults.DefaultSpec(seed, 1).WithRate(0))
+		res, err := faultedRun(ctx, reqs, strategies[si], opt, faults.DefaultSpec(seed, 1).WithRate(0), engine)
 		if err != nil {
 			return err
 		}
@@ -120,7 +127,7 @@ func faultSweepRun(scale int64, seed uint64) ([]FaultPoint, error) {
 		si := ci % len(strategies)
 		strategy := strategies[si]
 		spec := faults.DefaultSpec(seed, refs[si]*4).WithRate(rate)
-		res, err := faultedRun(ctx, reqs, strategy, opt, spec)
+		res, err := faultedRun(ctx, reqs, strategy, opt, spec, engine)
 		if err != nil {
 			return fmt.Errorf("bench faults: %s at rate %g: %w", strategy, rate, err)
 		}
@@ -210,6 +217,7 @@ func ObserveFaults(scale int64, seed uint64, memMB int, op collio.Op, rate float
 	opt.Trace = true
 	opt.Overlap = cfg.Overlap
 	opt.NahOpt = cfg.nahOrDefault()
+	engine := cfg.engine()
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "observe faults: %s, %s, %d MB per aggregator, fault rate %g\n",
@@ -218,12 +226,12 @@ func ObserveFaults(scale int64, seed uint64, memMB int, op collio.Op, rate float
 		// Clean reference for the horizon, without tracing noise.
 		refCtx := *ctx
 		refCtx.Obs = nil
-		refRes, err := faultedRun(&refCtx, reqs, strategy, opt, faults.DefaultSpec(seed, 1).WithRate(0))
+		refRes, err := faultedRun(&refCtx, reqs, strategy, opt, faults.DefaultSpec(seed, 1).WithRate(0), engine)
 		if err != nil {
 			return nil, err
 		}
 		spec := faults.DefaultSpec(seed, refRes.Seconds*4).WithRate(rate)
-		res, err := faultedRun(ctx, reqs, strategy, opt, spec)
+		res, err := faultedRun(ctx, reqs, strategy, opt, spec, engine)
 		if err != nil {
 			return nil, err
 		}

@@ -14,7 +14,7 @@ import (
 
 // LedgerExperiments lists every experiment Ledger can run, in display
 // order — the single source of truth for the CLI's usage text.
-var LedgerExperiments = []string{"fig6", "fig7", "fig8", "fig-exa", "trajectory", "faults", "chaos", "chaos-gray"}
+var LedgerExperiments = []string{"fig6", "fig7", "fig8", "fig-exa", "fig-exa-faults", "trajectory", "faults", "chaos", "chaos-gray"}
 
 // chaosLedgerOps is the campaign length of the chaos ledger run: long
 // enough that detection/repair/degradation counts are meaningful, short
@@ -102,7 +102,30 @@ func Ledger(name string, scale int64, seed uint64) (*obs.RunRecord, error) {
 			e.Metrics["recovery_seconds"] = pt.Res.RecoverySeconds
 			rec.Entries = append(rec.Entries, e)
 		}
+	case "fig-exa-faults":
+		points, err := figExaFaultsRun(scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range points {
+			e := costEntry(fmt.Sprintf("fig-exa-faults/crash=%g,strag=%g,sev=%g/%s",
+				pt.Cell.Crash, pt.Cell.Frac, pt.Cell.Sev, pt.Strategy), &pt.Res.CostResult, pt.Overlap)
+			topUpRecovery(e.Blame, pt.Res.RecoverySeconds)
+			e.Metrics["failovers"] = float64(pt.Res.Failovers)
+			e.Metrics["stalls"] = float64(pt.Res.Stalls)
+			e.Metrics["replayed_rounds"] = float64(pt.Res.ReplayedRounds)
+			e.Metrics["recovery_seconds"] = pt.Res.RecoverySeconds
+			rec.Entries = append(rec.Entries, e)
+		}
 	case "chaos":
+		// The chaos campaigns execute real byte-level collectives —
+		// checksums, hedges, repairs — so there is nothing the analytical
+		// engine could price; reject the override instead of silently
+		// ignoring it.
+		if e := currentEngineOverride(); e != "" && e != EngineBytes {
+			return nil, fmt.Errorf("bench %s: campaign executes byte-level collectives and cannot run on engine %q; use -engine %s or drop the flag",
+				name, e, EngineBytes)
+		}
 		rep, err := Chaos(ChaosConfig{Seed: seed, Ops: chaosLedgerOps, Rate: 2, Repair: true})
 		if err != nil {
 			return nil, err
@@ -112,6 +135,10 @@ func Ledger(name string, scale int64, seed uint64) (*obs.RunRecord, error) {
 		rec.Params["repair"] = "true"
 		rec.Entries = append(rec.Entries, chaosEntries(rep)...)
 	case "chaos-gray":
+		if e := currentEngineOverride(); e != "" && e != EngineBytes {
+			return nil, fmt.Errorf("bench %s: campaign executes byte-level collectives and cannot run on engine %q; use -engine %s or drop the flag",
+				name, e, EngineBytes)
+		}
 		rep, err := Gray(GrayConfig{Seed: seed, Ops: grayLedgerOps, Rate: 2, Repair: true})
 		if err != nil {
 			return nil, err
@@ -155,9 +182,9 @@ func StampedLedger(name string, scale int64, seed uint64) (*obs.RunRecord, error
 	// fast-path slowdown or allocation regression into a flagged series.
 	// (Metrics do not feed the step-regression diff, so cross-machine
 	// wall-clock noise cannot fail the baseline gate.)
-	if name == "fig-exa" {
+	if name == "fig-exa" || name == "fig-exa-faults" {
 		rec.Entries = append(rec.Entries, obs.RunEntry{
-			Name: "fig-exa/harness",
+			Name: name + "/harness",
 			Metrics: map[string]float64{
 				"host_wall_seconds": rec.Telemetry.HostWallSeconds,
 				"total_alloc_bytes": float64(rec.Telemetry.TotalAllocBytes),

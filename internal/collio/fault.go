@@ -162,91 +162,6 @@ func (p *Plan) Compact() *Plan {
 	return q
 }
 
-// workItem is a unit of remaining shuffle+I/O work in the faulted cost
-// loop. One item starts per plan domain; a recovery folds an item's
-// remaining work into a fresh item bound to the absorbing (or
-// re-placed) domain. Items reference live domains by index for
-// placement, so later reassignments of the same domain move them too.
-type workItem struct {
-	domain   int // index into live; placement is read per round
-	base     []pfs.Extent
-	bytes    int64
-	buf      int64
-	rounds   int
-	done     int
-	rot      int // slice stagger rotation (domain index at creation)
-	contribs []faultContrib
-}
-
-type faultContrib struct {
-	rank, node int
-	bytes      int64
-}
-
-func (it *workItem) active() bool { return it.bytes > 0 && it.done < it.rounds }
-
-// perBytes is the front-loaded even split Cost uses: step s of rounds R
-// moves b/R bytes, plus one while s < b mod R.
-func perBytes(b int64, s, rounds int) int64 {
-	per := b / int64(rounds)
-	if int64(s) < b%int64(rounds) {
-		per++
-	}
-	return per
-}
-
-// remaining returns the item's unmoved extents and per-contributor
-// bytes after the steps it has completed (slices are staggered, so the
-// remainder is the union of the uncompleted slices).
-func (it *workItem) remaining() ([]pfs.Extent, []faultContrib) {
-	if it.done == 0 {
-		return it.base, it.contribs
-	}
-	var rem []pfs.Extent
-	for j := it.done; j < it.rounds; j++ {
-		idx := (j + it.rot) % it.rounds
-		rem = append(rem, pfs.SliceData(it.base, int64(idx)*it.buf, it.buf)...)
-	}
-	var cs []faultContrib
-	for _, c := range it.contribs {
-		moved := int64(it.done)*(c.bytes/int64(it.rounds)) + minI64(int64(it.done), c.bytes%int64(it.rounds))
-		if left := c.bytes - moved; left > 0 {
-			cs = append(cs, faultContrib{rank: c.rank, node: c.node, bytes: left})
-		}
-	}
-	return pfs.NormalizeExtents(rem), cs
-}
-
-func minI64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// fold builds the successor item carrying it's remaining work on the
-// (possibly re-placed) domain target. Returns nil when nothing remains.
-func (it *workItem) fold(target int, live []Domain) *workItem {
-	rem, cs := it.remaining()
-	bytes := pfs.TotalBytes(rem)
-	if bytes == 0 {
-		return nil
-	}
-	buf := live[target].BufferBytes
-	if buf < 1 {
-		buf = 1
-	}
-	return &workItem{
-		domain:   target,
-		base:     rem,
-		bytes:    bytes,
-		buf:      buf,
-		rounds:   int((bytes + buf - 1) / buf),
-		rot:      target,
-		contribs: cs,
-	}
-}
-
 // CostWithFaults prices plan like Cost, but with a fault injector
 // advancing in simulated time and a FaultHandler deciding where the
 // work of crashed or collapsed hosts goes. With a nil or empty injector
@@ -343,26 +258,8 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 
 	// Live domain set (placements mutate on recovery) and work items.
 	live := append([]Domain(nil), plan.Domains...)
-	items := make([]*workItem, 0, len(live))
-	buckets := make([][]pfs.Extent, len(live))
-	for i, d := range live {
-		buckets[i] = d.Extents
-	}
-	domainContribs := make([][]faultContrib, len(live))
-	if len(live) > 0 {
-		index := NewExtentIndex(buckets)
-		for _, r := range reqs {
-			if len(r.Extents) == 0 {
-				continue
-			}
-			node := ctx.Topo.NodeOf(r.Rank)
-			for i, b := range index.OverlapBytes(r.Extents) {
-				if b > 0 {
-					domainContribs[i] = append(domainContribs[i], faultContrib{rank: r.Rank, node: node, bytes: b})
-				}
-			}
-		}
-	}
+	items := make([]*FaultItem, 0, len(live))
+	domainContribs := buildFaultContribs(ctx, live, reqs)
 	totalRounds := 0
 	for i, d := range live {
 		rounds := d.Rounds()
@@ -370,14 +267,14 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 		if rounds == 0 {
 			continue
 		}
-		items = append(items, &workItem{
-			domain:   i,
-			base:     d.Extents,
-			bytes:    d.Bytes,
-			buf:      d.BufferBytes,
-			rounds:   rounds,
-			rot:      i,
-			contribs: domainContribs[i],
+		items = append(items, &FaultItem{
+			Domain:   i,
+			Base:     d.Extents,
+			Bytes:    d.Bytes,
+			Buf:      d.BufferBytes,
+			Rounds:   rounds,
+			Rot:      i,
+			Contribs: domainContribs[i],
 		})
 	}
 
@@ -416,9 +313,9 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 		var affectedItems []int
 		domainSet := map[int]bool{}
 		for ii, it := range items {
-			if it.active() && live[it.domain].AggNode == ev.Node {
+			if it.Active() && live[it.Domain].AggNode == ev.Node {
 				affectedItems = append(affectedItems, ii)
-				domainSet[it.domain] = true
+				domainSet[it.Domain] = true
 			}
 		}
 		affected := make([]int, 0, len(domainSet))
@@ -432,8 +329,8 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 		// was lost, nothing replays.
 		if !proactive {
 			for _, ii := range affectedItems {
-				if items[ii].done > 0 {
-					items[ii].done--
+				if items[ii].Done > 0 {
+					items[ii].Done--
 					res.ReplayedRounds++
 				}
 			}
@@ -461,11 +358,11 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 			n := len(items)
 			for ii := 0; ii < n; ii++ {
 				it := items[ii]
-				if it.domain != src || !it.active() {
+				if it.Domain != src || !it.Active() {
 					continue
 				}
-				nit := it.fold(dst, live)
-				it.done = it.rounds // retire
+				nit := it.Fold(dst, live)
+				it.Done = it.Rounds // retire
 				if nit == nil {
 					continue
 				}
@@ -473,17 +370,14 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 				if !reExchange {
 					continue
 				}
-				bytes := int64(len(nit.base)) * extentListEntryBytes
-				if bytes == 0 {
-					bytes = extentListEntryBytes
-				}
-				for _, c := range nit.contribs {
+				bytes := nit.RecoveryMetaBytes()
+				for _, c := range nit.Contribs {
 					rec.Messages = append(rec.Messages, sim.Message{
-						SrcNode: c.node,
+						SrcNode: c.Node,
 						DstNode: live[dst].AggNode,
 						Bytes:   bytes,
 					})
-					co.transfer(c.rank, live[dst].Aggregator, bytes)
+					co.transfer(c.Rank, live[dst].Aggregator, bytes)
 				}
 			}
 		}
@@ -582,7 +476,7 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 			if mh, ok := handler.(MemDecayHandler); ok {
 				sev = mh.OnMemDecay(n, frac)
 			} else {
-				sev = leakSeverity(live, ctx.Avail[n], n, frac)
+				sev = LeakSeverity(live, ctx.Avail[n], n, frac)
 			}
 			if sev > leakSev[n] {
 				leakSev[n] = sev
@@ -628,7 +522,7 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 					}
 					hasWork := false
 					for _, it := range items {
-						if it.active() && live[it.domain].AggNode == n {
+						if it.Active() && live[it.Domain].AggNode == n {
 							hasWork = true
 							break
 						}
@@ -654,7 +548,7 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 
 		anyActive := false
 		for _, it := range items {
-			if it.active() {
+			if it.Active() {
 				anyActive = true
 				break
 			}
@@ -666,25 +560,25 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 		var round sim.Round
 		var extraLat float64
 		for _, it := range items {
-			if !it.active() {
+			if !it.Active() {
 				continue
 			}
-			d := live[it.domain]
-			s := it.done
-			for _, c := range it.contribs {
-				per := perBytes(c.bytes, s, it.rounds)
+			d := live[it.Domain]
+			s := it.Done
+			for _, c := range it.Contribs {
+				per := EvenShare(c.Bytes, s, it.Rounds)
 				if per == 0 {
 					continue
 				}
-				m := sim.Message{SrcNode: c.node, DstNode: d.AggNode, Bytes: per}
-				srcRank, dstRank := c.rank, d.Aggregator
+				m := sim.Message{SrcNode: c.Node, DstNode: d.AggNode, Bytes: per}
+				srcRank, dstRank := c.Rank, d.Aggregator
 				if op == Read {
 					m.SrcNode, m.DstNode = m.DstNode, m.SrcNode
 					srcRank, dstRank = dstRank, srcRank
 				}
 				co.transfer(srcRank, dstRank, per)
 				if co != nil {
-					co.shuf[it.domain].Add(per)
+					co.shuf[it.Domain].Add(per)
 				}
 				if delay := inj.MsgDelaySeconds(m.SrcNode, now) + inj.NICDelaySeconds(m.SrcNode, now); delay > 0 {
 					charged := delay
@@ -741,8 +635,8 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 				}
 				round.Messages = append(round.Messages, m)
 			}
-			idx := (s + it.rot) % it.rounds
-			slice := pfs.SliceData(it.base, int64(idx)*it.buf, it.buf)
+			idx := (s + it.Rot) % it.Rounds
+			slice := pfs.SliceData(it.Base, int64(idx)*it.Buf, it.Buf)
 			for _, acc := range ctx.FS.MapExtents(slice) {
 				fastFail := false
 				if ad != nil {
@@ -832,7 +726,7 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 					DelaySeconds: delay,
 				})
 			}
-			it.done++
+			it.Done++
 		}
 		if extraLat > 0 {
 			eng.AddLatency(extraLat)
@@ -911,7 +805,7 @@ func costFaulted(ctx *Context, plan *Plan, reqs []RankRequest, op Op, opt sim.Op
 // leakSeverity is the inline MemLeak fallback for handlers without
 // memory accounting: the live domains' buffer reservations on node
 // against the decayed budget give the paged fraction.
-func leakSeverity(live []Domain, avail int64, node int, frac float64) float64 {
+func LeakSeverity(live []Domain, avail int64, node int, frac float64) float64 {
 	var reserved int64
 	for _, d := range live {
 		if d.AggNode == node && d.Bytes > 0 {

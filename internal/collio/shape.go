@@ -106,69 +106,7 @@ func BuildShape(ctx *Context, plan *Plan, reqs []RankRequest) (*Shape, error) {
 		return nil, err
 	}
 	sh := &Shape{}
-
-	// Metadata scatter, one exchange per group: every member rank ships
-	// its flattened extent list to each group aggregator. Ranks are
-	// folded per source node and aggregators per destination node
-	// (duplicate aggregator ranks on one node are slots, each counting,
-	// as on the byte path); the engine prices the cross product in
-	// closed form.
-	extCount := make(map[int]int, len(reqs))
-	for _, r := range reqs {
-		n := len(r.Extents)
-		if !pfs.IsNormalized(r.Extents) {
-			n = len(pfs.NormalizeExtents(r.Extents))
-		}
-		extCount[r.Rank] = n
-	}
-	aggsByGroup := make(map[int][]int)
-	for _, d := range plan.Domains {
-		aggsByGroup[d.Group] = append(aggsByGroup[d.Group], d.Aggregator)
-	}
-	srcBytes := map[int]*sim.ExchangeSrc{} // per-group scratch: src node -> bytes, rank count
-	for g, ranks := range plan.GroupRanks {
-		aggs := dedupInts(aggsByGroup[g])
-		if len(aggs) == 0 {
-			continue
-		}
-		clear(srcBytes)
-		for _, r := range ranks {
-			bytes := int64(extCount[r]) * extentListEntryBytes
-			if bytes == 0 {
-				continue
-			}
-			node := ctx.Topo.NodeOf(r)
-			f := srcBytes[node]
-			if f == nil {
-				f = &sim.ExchangeSrc{Node: node}
-				srcBytes[node] = f
-			}
-			f.Bytes += bytes
-			f.Count++
-		}
-		if len(srcBytes) == 0 {
-			continue
-		}
-		x := sim.Exchange{Srcs: make([]sim.ExchangeSrc, 0, len(srcBytes))}
-		srcRanks := 0
-		for _, f := range srcBytes {
-			x.Srcs = append(x.Srcs, *f)
-			srcRanks += f.Count
-		}
-		sort.Slice(x.Srcs, func(i, j int) bool { return x.Srcs[i].Node < x.Srcs[j].Node })
-		slots := map[int]int{}
-		for _, a := range aggs {
-			slots[ctx.Topo.NodeOf(a)]++
-		}
-		x.Dsts = make([]sim.ExchangeDst, 0, len(slots))
-		for node, n := range slots {
-			x.Dsts = append(x.Dsts, sim.ExchangeDst{Node: node, Slots: n})
-		}
-		sort.Slice(x.Dsts, func(i, j int) bool { return x.Dsts[i].Node < x.Dsts[j].Node })
-		sh.MetaExchanges = append(sh.MetaExchanges, x)
-		sh.MetaMessages += srcRanks * len(aggs)
-	}
-
+	sh.MetaExchanges, sh.MetaMessages = buildMetaExchanges(ctx, plan, reqs)
 	// Domain shapes: geometry plus per-node contribution aggregates.
 	sh.Domains = make([]DomainShape, len(plan.Domains))
 	buckets := make([][]pfs.Extent, len(plan.Domains))
@@ -231,6 +169,75 @@ func BuildShape(ctx *Context, plan *Plan, reqs []RankRequest) (*Shape, error) {
 		sort.Slice(d.Contribs, func(a, b int) bool { return d.Contribs[a].Node < d.Contribs[b].Node })
 	}
 	return sh, nil
+}
+
+// buildMetaExchanges derives the metadata scatter in closed form, one
+// exchange per group: every member rank ships its flattened extent list
+// to each group aggregator. Ranks are folded per source node and
+// aggregators per destination node (duplicate aggregator ranks on one
+// node are slots, each counting, as on the byte path); the engine
+// prices the cross product in O(sources + destinations). Returns the
+// exchanges and the point-to-point message count they stand for. Both
+// BuildShape and BuildFaultedShape share it.
+func buildMetaExchanges(ctx *Context, plan *Plan, reqs []RankRequest) ([]sim.Exchange, int) {
+	extCount := make(map[int]int, len(reqs))
+	for _, r := range reqs {
+		n := len(r.Extents)
+		if !pfs.IsNormalized(r.Extents) {
+			n = len(pfs.NormalizeExtents(r.Extents))
+		}
+		extCount[r.Rank] = n
+	}
+	aggsByGroup := make(map[int][]int)
+	for _, d := range plan.Domains {
+		aggsByGroup[d.Group] = append(aggsByGroup[d.Group], d.Aggregator)
+	}
+	var exchanges []sim.Exchange
+	messages := 0
+	srcBytes := map[int]*sim.ExchangeSrc{} // per-group scratch: src node -> bytes, rank count
+	for g, ranks := range plan.GroupRanks {
+		aggs := dedupInts(aggsByGroup[g])
+		if len(aggs) == 0 {
+			continue
+		}
+		clear(srcBytes)
+		for _, r := range ranks {
+			bytes := int64(extCount[r]) * extentListEntryBytes
+			if bytes == 0 {
+				continue
+			}
+			node := ctx.Topo.NodeOf(r)
+			f := srcBytes[node]
+			if f == nil {
+				f = &sim.ExchangeSrc{Node: node}
+				srcBytes[node] = f
+			}
+			f.Bytes += bytes
+			f.Count++
+		}
+		if len(srcBytes) == 0 {
+			continue
+		}
+		x := sim.Exchange{Srcs: make([]sim.ExchangeSrc, 0, len(srcBytes))}
+		srcRanks := 0
+		for _, f := range srcBytes {
+			x.Srcs = append(x.Srcs, *f)
+			srcRanks += f.Count
+		}
+		sort.Slice(x.Srcs, func(i, j int) bool { return x.Srcs[i].Node < x.Srcs[j].Node })
+		slots := map[int]int{}
+		for _, a := range aggs {
+			slots[ctx.Topo.NodeOf(a)]++
+		}
+		x.Dsts = make([]sim.ExchangeDst, 0, len(slots))
+		for node, n := range slots {
+			x.Dsts = append(x.Dsts, sim.ExchangeDst{Node: node, Slots: n})
+		}
+		sort.Slice(x.Dsts, func(i, j int) bool { return x.Dsts[i].Node < x.Dsts[j].Node })
+		exchanges = append(exchanges, x)
+		messages += srcRanks * len(aggs)
+	}
+	return exchanges, messages
 }
 
 // sortInt64s sorts xs ascending.

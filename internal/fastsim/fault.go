@@ -1,0 +1,490 @@
+package fastsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"mcio/internal/collio"
+	"mcio/internal/faults"
+	"mcio/internal/obs"
+	"mcio/internal/pfs"
+	"mcio/internal/sim"
+	"mcio/internal/stats"
+)
+
+// CostWithFaults prices a faulted run analytically, bit-identical to
+// collio.CostWithFaults on the byte path. The exactness argument, per
+// fault dimension:
+//
+//   - Engine round pricing reduces messages to commutative per-node
+//     integer loads, so healthy traffic aggregates freely: one
+//     AggMessage per (node, domain) pair per round, reconstructed
+//     exactly by NodeContrib.RoundShare.
+//   - Message-level fault state (drop/flip budgets, delay windows,
+//     flaky-NIC counters) is keyed by source node, and every injector
+//     query on a node without live state is a pure no-op. Each round
+//     the loop computes the hot-node set; items whose messages
+//     originate from a hot node walk their contributors per rank in
+//     byte-path order — preserving both the injector's per-node query
+//     sequence and the order extra latency terms are summed in (floats
+//     only accumulate from hot messages, so skipping healthy ones
+//     changes nothing) — while healthy nodes stay aggregated.
+//   - Storage fault state (retry ladders, torn-write budgets) is keyed
+//     by target and the byte path is already per-item there, so the
+//     access loop ports verbatim: same accesses, same order, same
+//     ladder walks.
+//   - Crash/collapse recovery folds per-rank contributor lists exactly
+//     as the byte path does; the recovery metadata re-exchange is
+//     bundled per source node into an aggregate recovery round (every
+//     contributor of one folded item ships the same payload).
+//   - Identical per-round costs keep the engine clock identical, so
+//     fault windows open and close on the same boundaries.
+//
+// Differences are observational only, as for Cost: per-rank mpi.* and
+// per-domain collio.shuffle_bytes counters and ctx.Timeline recording
+// are not emitted (the fast path never materializes ranks); the
+// engine-level metrics, the faults.* counters, spans and traces are
+// identical. Adaptive policies (collio.CostAdaptive) stay byte-path:
+// hedging and breaker decisions are inherently per-message.
+func CostWithFaults(ctx *collio.Context, plan *collio.Plan, reqs []collio.RankRequest,
+	op collio.Op, opt sim.Options, inj *faults.Injector, handler collio.FaultHandler) (*collio.FaultResult, error) {
+	if inj.Empty() {
+		res, err := Cost(ctx, plan, reqs, op, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &collio.FaultResult{CostResult: *res, Injected: map[string]int{}}, nil
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("fastsim: fault injection without a FaultHandler")
+	}
+	fshape, err := collio.BuildFaultedShape(ctx, plan, reqs)
+	if err != nil {
+		return nil, err
+	}
+	st := sim.StorageParams{
+		Targets:         ctx.FS.Targets,
+		TargetBW:        ctx.FS.TargetBW,
+		ReqOverhead:     ctx.FS.ReqOverhead,
+		NoncontigFactor: ctx.FS.NoncontigFactor,
+		ReadBWFactor:    ctx.FS.ReadBWFactor,
+	}
+	eng, err := sim.NewEngine(ctx.Machine, st, opt)
+	if err != nil {
+		return nil, err
+	}
+	pid := 0
+	if ctx.Obs != nil {
+		pid = ctx.Obs.Tracer().PID(plan.Strategy)
+		eng.SetObserver(ctx.Obs, pid,
+			obs.L("strategy", plan.Strategy), obs.L("op", op.String()))
+	}
+	inj.SetObserver(ctx.Obs)
+
+	placements := make([]sim.AggregatorPlacement, len(plan.Domains))
+	for i, d := range plan.Domains {
+		placements[i] = sim.AggregatorPlacement{
+			Node:          d.AggNode,
+			BufferBytes:   d.BufferBytes,
+			PagedSeverity: d.PagedSeverity,
+		}
+	}
+	eng.SetAggregators(placements)
+
+	// Metadata scatter in closed form, identical to the fault-free fast
+	// path (the byte path's faulted metadata round is the same exchange).
+	if len(fshape.MetaExchanges) > 0 {
+		eng.RunAggRound(sim.AggRound{Kind: sim.RoundMetadata, Exchanges: fshape.MetaExchanges})
+	}
+
+	// Live domain set (placements mutate on recovery) and work items.
+	live := append([]collio.Domain(nil), plan.Domains...)
+	items := fshape.Items
+	totalRounds := fshape.TotalRounds
+
+	res := &collio.FaultResult{}
+	spec := inj.Spec()
+	nodes := ctx.Topo.Nodes()
+	// leakFrac tracks the largest MemLeak fraction already applied per
+	// node; leakSev the paging severity that decay produced.
+	leakFrac := make([]float64, nodes)
+	leakSev := make([]float64, nodes)
+	// nodeSeverity tracks the worst paging severity declared per node so
+	// recoveries never accidentally lower another domain's penalty.
+	nodeSeverity := map[int]float64{}
+	for _, d := range live {
+		if d.PagedSeverity > nodeSeverity[d.AggNode] {
+			nodeSeverity[d.AggNode] = d.PagedSeverity
+		}
+	}
+
+	// handleHostEvent applies one host-level event through the handler,
+	// the aggregate form of the byte path's recovery: the same replay
+	// bookkeeping and refolds, with the metadata re-exchange bundled per
+	// source node instead of one message per surviving contributor.
+	handleHostEvent := func(ev faults.Event) error {
+		var affectedItems []int
+		domainSet := map[int]bool{}
+		for ii, it := range items {
+			if it.Active() && live[it.Domain].AggNode == ev.Node {
+				affectedItems = append(affectedItems, ii)
+				domainSet[it.Domain] = true
+			}
+		}
+		affected := make([]int, 0, len(domainSet))
+		for d := range domainSet {
+			affected = append(affected, d)
+		}
+		sort.Ints(affected)
+
+		// The round in flight when the host died is lost: replay it.
+		for _, ii := range affectedItems {
+			if items[ii].Done > 0 {
+				items[ii].Done--
+				res.ReplayedRounds++
+			}
+		}
+
+		ras, err := handler.OnHostFault(ctx, collio.HostFault{
+			Node: ev.Node, Kind: ev.Kind, Time: ev.Time, Severity: ev.Severity,
+		}, live, affected)
+		if err != nil {
+			return err
+		}
+
+		var stall float64
+		var rec sim.AggRound
+		refold := func(src, dst int, reExchange bool) {
+			// Snapshot the length: folding appends successors, and when
+			// src == dst (an in-place re-placement) a successor would
+			// match the filter and fold itself forever.
+			n := len(items)
+			for ii := 0; ii < n; ii++ {
+				it := items[ii]
+				if it.Domain != src || !it.Active() {
+					continue
+				}
+				nit := it.Fold(dst, live)
+				it.Done = it.Rounds // retire
+				if nit == nil {
+					continue
+				}
+				items = append(items, nit)
+				if !reExchange {
+					continue
+				}
+				// Every contributor of this folded item ships the same
+				// extent-list payload, so consecutive same-node senders
+				// bundle into one aggregate message (MemCopy is linear for
+				// integral copy factors, so any bundling partition prices
+				// identically to per-message accumulation).
+				bytes := nit.RecoveryMetaBytes()
+				dstNode := live[dst].AggNode
+				for _, c := range nit.Contribs {
+					if k := len(rec.Messages); k > 0 {
+						if m := &rec.Messages[k-1]; m.SrcNode == c.Node && m.DstNode == dstNode {
+							m.Bytes += bytes
+							m.Count++
+							continue
+						}
+					}
+					rec.Messages = append(rec.Messages, sim.AggMessage{
+						SrcNode: c.Node, DstNode: dstNode, Bytes: bytes, Count: 1,
+					})
+				}
+			}
+		}
+		for _, ra := range ras {
+			if ra.StallSeconds > stall {
+				stall = ra.StallSeconds
+			}
+			if ra.MergeInto >= 0 {
+				refold(ra.Domain, ra.MergeInto, true)
+				if err := collio.ApplyReassignments(live, []collio.Reassignment{ra}); err != nil {
+					return err
+				}
+				res.Failovers++
+				continue
+			}
+			moved := live[ra.Domain].AggNode != ra.AggNode
+			bufChanged := ra.BufferBytes > 0 && live[ra.Domain].BufferBytes != ra.BufferBytes
+			if err := collio.ApplyReassignments(live, []collio.Reassignment{ra}); err != nil {
+				return err
+			}
+			if s := ra.PagedSeverity; s > nodeSeverity[ra.AggNode] {
+				nodeSeverity[ra.AggNode] = s
+			}
+			eng.SetNodePaged(ra.AggNode, nodeSeverity[ra.AggNode])
+			if moved || bufChanged {
+				refold(ra.Domain, ra.Domain, moved)
+				res.Failovers++
+			} else {
+				res.Stalls++
+			}
+		}
+		if stall > 0 {
+			eng.AddRecoveryLatency(stall, ev.Kind.String())
+		}
+		if len(rec.Messages) > 0 {
+			eng.RunAggRecoveryRound(rec)
+		}
+		return nil
+	}
+
+	// Main loop: one data round per iteration, fault events applied at
+	// round boundaries — the byte path's loop with per-node aggregation
+	// wherever fault state allows it.
+	guard := 16*(totalRounds+1) + 1024
+	executed := 0
+	hot := make([]bool, nodes)
+	var round sim.AggRound
+	var slice []pfs.Extent
+	mapper := ctx.FS.NewMapper()
+	for {
+		now := eng.Elapsed()
+		for _, ev := range inj.Advance(now) {
+			if ev.Kind != faults.NodeCrash && ev.Kind != faults.MemCollapse {
+				continue
+			}
+			if err := handleHostEvent(ev); err != nil {
+				return nil, err
+			}
+		}
+		for n := 0; n < nodes; n++ {
+			eng.SetNodeSlowdown(n, inj.NodeSlowdown(n, now))
+		}
+		for t := 0; t < ctx.FS.Targets; t++ {
+			eng.SetTargetSlowdown(t, inj.OSTSlowdownFactor(t, now))
+		}
+		for n := 0; n < nodes; n++ {
+			frac := inj.MemLeakFraction(n, now)
+			if frac <= leakFrac[n] {
+				continue
+			}
+			if leakFrac[n] == 0 {
+				res.LeakedNodes++
+			}
+			leakFrac[n] = frac
+			var sev float64
+			if mh, ok := handler.(collio.MemDecayHandler); ok {
+				sev = mh.OnMemDecay(n, frac)
+			} else {
+				sev = collio.LeakSeverity(live, ctx.Avail[n], n, frac)
+			}
+			if sev > leakSev[n] {
+				leakSev[n] = sev
+			}
+			if leakSev[n] > nodeSeverity[n] {
+				nodeSeverity[n] = leakSev[n]
+			}
+			eng.SetNodePaged(n, nodeSeverity[n])
+		}
+
+		anyActive := false
+		for _, it := range items {
+			if it.Active() {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			break
+		}
+
+		// Hot nodes carry message-level fault state this round: a live
+		// delay window, pending drop/flip budgets, or an active flaky-NIC
+		// drop cadence. Messages from them must be walked per rank to
+		// preserve injector query order and latency summation order;
+		// everything else aggregates. Events only apply at round
+		// boundaries, so a node healthy here stays query-inert all round.
+		for n := 0; n < nodes; n++ {
+			hot[n] = inj.MsgDelaySeconds(n, now)+inj.NICDelaySeconds(n, now) > 0 ||
+				inj.PendingDrops(n) > 0 || inj.PendingFlips(n) > 0 ||
+				inj.NICDropActive(n, now)
+		}
+
+		round.Messages = round.Messages[:0]
+		round.IOOps = round.IOOps[:0]
+		var extraLat float64
+		for _, it := range items {
+			if !it.Active() {
+				continue
+			}
+			d := live[it.Domain]
+			s := it.Done
+			aggs := it.Aggs()
+			// An item is hot when any of its messages' source node is: the
+			// aggregator node on reads (every message originates there), any
+			// contributing node on writes.
+			itemHot := false
+			if op == collio.Read {
+				itemHot = hot[d.AggNode]
+			} else {
+				for i := range aggs {
+					if hot[aggs[i].Node] {
+						itemHot = true
+						break
+					}
+				}
+			}
+			if itemHot {
+				// Per-rank walk of the hot sources, in byte-path contributor
+				// order. Healthy-node messages are skipped here (their
+				// queries are no-ops and they add no latency) and emitted as
+				// aggregates below.
+				for _, c := range it.Contribs {
+					srcNode := c.Node
+					if op == collio.Read {
+						srcNode = d.AggNode
+					}
+					if !hot[srcNode] {
+						continue
+					}
+					per := collio.EvenShare(c.Bytes, s, it.Rounds)
+					if per == 0 {
+						continue
+					}
+					m := sim.AggMessage{SrcNode: c.Node, DstNode: d.AggNode, Bytes: per, Count: 1}
+					if op == collio.Read {
+						m.SrcNode, m.DstNode = m.DstNode, m.SrcNode
+					}
+					if delay := inj.MsgDelaySeconds(m.SrcNode, now) + inj.NICDelaySeconds(m.SrcNode, now); delay > 0 {
+						extraLat += delay
+						res.DelayedMessages++
+					}
+					if inj.TakeDrop(m.SrcNode) {
+						// Lost and resent after the drop timeout: the bytes
+						// move twice and the round absorbs the timeout.
+						round.Messages = append(round.Messages, m)
+						extraLat += spec.DropTimeoutSeconds
+						res.DroppedMessages++
+					}
+					if inj.TakeNICDrop(m.SrcNode, now) {
+						round.Messages = append(round.Messages, m)
+						extraLat += spec.DropTimeoutSeconds
+						res.DroppedMessages++
+						res.FlakyDrops++
+					}
+					if inj.TakeMsgFlip(m.SrcNode) {
+						// Detected by end-to-end verification and re-requested:
+						// bytes move twice plus a detect+resend round-trip.
+						round.Messages = append(round.Messages, m)
+						extraLat += spec.DropTimeoutSeconds
+						res.CorruptedMessages++
+					}
+					round.Messages = append(round.Messages, m)
+				}
+			}
+			if op == collio.Write || !itemHot {
+				for i := range aggs {
+					nc := &aggs[i]
+					if op == collio.Write && hot[nc.Node] {
+						continue
+					}
+					bytes, msgs := nc.RoundShare(s)
+					if bytes == 0 {
+						continue
+					}
+					m := sim.AggMessage{SrcNode: nc.Node, DstNode: d.AggNode, Bytes: bytes, Count: msgs}
+					if op == collio.Read {
+						m.SrcNode, m.DstNode = m.DstNode, m.SrcNode
+					}
+					round.Messages = append(round.Messages, m)
+				}
+			}
+			// Storage: the byte path is already per item here, so this is a
+			// verbatim port — same accesses in the same order drive the same
+			// per-target retry-ladder and torn-write state.
+			idx := (s + it.Rot) % it.Rounds
+			slice = pfs.SliceDataAppend(slice[:0], it.Base, int64(idx)*it.Buf, it.Buf)
+			for _, acc := range mapper.Map(slice) {
+				retries, backoff, degraded := inj.OSTPenalty(acc.Target, now)
+				delay := backoff
+				if degraded {
+					bw := ctx.FS.TargetBW
+					if op == collio.Read && ctx.FS.ReadBWFactor > 0 {
+						bw *= ctx.FS.ReadBWFactor
+					}
+					delay += float64(acc.Bytes) / bw * (spec.DegradedFactor - 1)
+				}
+				res.StorageRetries += retries
+				torn := 0
+				if op == collio.Write && inj.TakeTornWrite(acc.Target) {
+					torn = 1
+					res.TornWrites++
+				}
+				round.IOOps = append(round.IOOps, sim.IOOp{
+					Target:       acc.Target,
+					Node:         d.AggNode,
+					Bytes:        acc.Bytes,
+					Requests:     acc.Requests + retries + torn,
+					Contiguous:   acc.Contiguous,
+					Write:        op == collio.Write,
+					DelaySeconds: delay,
+				})
+			}
+			it.Done++
+		}
+		if extraLat > 0 {
+			eng.AddLatency(extraLat)
+		}
+		eng.RunAggRound(round)
+		executed++
+		if executed > guard {
+			return nil, fmt.Errorf("fastsim: fault recovery did not converge after %d rounds", executed)
+		}
+	}
+
+	userBytes := plan.TotalBytes()
+	if ctx.Obs != nil {
+		span := ctx.Obs.Tracer().Begin(pid, sim.TIDTimeline,
+			plan.Strategy+" "+op.String()+" (faults)", 0,
+			obs.A("groups", strconv.Itoa(plan.Groups)),
+			obs.A("domains", strconv.Itoa(len(plan.Domains))),
+			obs.A("rounds", strconv.Itoa(executed)),
+			obs.A("user_bytes", strconv.FormatInt(userBytes, 10)))
+		span.End(eng.Elapsed())
+	}
+	totals := eng.Totals()
+	res.CostResult = collio.CostResult{
+		Strategy:  plan.Strategy,
+		Op:        op,
+		UserBytes: userBytes,
+		Seconds:   eng.Elapsed(),
+		Bandwidth: eng.Bandwidth(userBytes),
+		Totals:    totals,
+		Domains:   len(plan.Domains),
+		Groups:    plan.Groups,
+		MaxRounds: executed,
+	}
+	res.Aggregators = len(plan.Aggregators())
+	buffers := make([]float64, 0, len(plan.Domains))
+	for _, d := range plan.Domains {
+		buffers = append(buffers, float64(d.BufferBytes))
+		if d.PagedSeverity > 0 {
+			res.PagedAggregators++
+		}
+	}
+	res.BufferSummary = stats.Summarize(buffers)
+	if opt.Trace {
+		res.Trace = eng.Trace()
+	}
+	res.Injected = inj.Counts()
+	res.RecoverySeconds = totals.RecoverySeconds
+	res.RecoveryRounds = totals.RecoveryRounds
+	if o := ctx.Obs; o != nil {
+		base := []obs.Label{obs.L("strategy", plan.Strategy), obs.L("op", op.String())}
+		o.Counter("faults.failovers", base...).Add(int64(res.Failovers))
+		o.Counter("faults.stalls", base...).Add(int64(res.Stalls))
+		o.Counter("faults.replayed_rounds", base...).Add(int64(res.ReplayedRounds))
+		o.Counter("faults.storage_retries", base...).Add(int64(res.StorageRetries))
+		o.Counter("faults.dropped_messages", base...).Add(int64(res.DroppedMessages))
+		o.Counter("faults.delayed_messages", base...).Add(int64(res.DelayedMessages))
+		o.Counter("faults.corrupted_messages", base...).Add(int64(res.CorruptedMessages))
+		o.Counter("faults.torn_writes", base...).Add(int64(res.TornWrites))
+		o.Counter("faults.flaky_drops", base...).Add(int64(res.FlakyDrops))
+		o.Counter("faults.leaked_nodes", base...).Add(int64(res.LeakedNodes))
+	}
+	return res, nil
+}

@@ -207,3 +207,80 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		t.Errorf("default spec rejected: %v", err)
 	}
 }
+
+// TestPendingQueriesAreStateless pins the contract the analytical fast
+// path leans on: PendingDrops, PendingFlips and NICDropActive report
+// whether the matching Take query would be stateful, without consuming
+// or mutating anything themselves — so a healthy node's messages can be
+// bundled without ever touching the injector.
+func TestPendingQueriesAreStateless(t *testing.T) {
+	plan := &Plan{
+		Spec: Spec{NICFlakyDropEvery: 2},
+		Events: []Event{
+			{Kind: MsgDrop, Time: 1.0, Node: 1, Target: -1},
+			{Kind: MsgDrop, Time: 1.1, Node: 1, Target: -1},
+			{Kind: MsgBitFlip, Time: 1.0, Node: 2, Target: -1},
+			{Kind: NICFlaky, Time: 2.0, Node: 3, Target: -1, Duration: 1.0, Severity: 0.01},
+		},
+	}
+	in := NewInjector(plan)
+
+	if in.PendingDrops(1) != 0 || in.PendingFlips(2) != 0 || in.NICDropActive(3, 0.5) {
+		t.Fatal("pending state before any event was applied")
+	}
+	in.Advance(1.5)
+	if got := in.PendingDrops(1); got != 2 {
+		t.Fatalf("PendingDrops = %d, want 2", got)
+	}
+	// Queries are pure: asking repeatedly must not consume.
+	if in.PendingDrops(1) != 2 || in.PendingFlips(2) != 1 {
+		t.Fatal("pending queries consumed state")
+	}
+	if !in.TakeDrop(1) {
+		t.Fatal("TakeDrop with pending drops returned false")
+	}
+	if got := in.PendingDrops(1); got != 1 {
+		t.Fatalf("after one TakeDrop, PendingDrops = %d, want 1", got)
+	}
+	if !in.TakeMsgFlip(2) || in.PendingFlips(2) != 0 {
+		t.Fatal("TakeMsgFlip did not consume exactly one pending flip")
+	}
+	// Other nodes stay clean throughout.
+	if in.PendingDrops(2) != 0 || in.PendingFlips(1) != 0 {
+		t.Fatal("pending state leaked across nodes")
+	}
+
+	// NICDropActive brackets the flaky window: false before, true inside
+	// (with a positive drop cadence), false after — and checking it never
+	// advances the in-window message counter, so the first in-window
+	// TakeNICDrop sequence is unperturbed.
+	in.Advance(2.5)
+	if in.NICDropActive(3, 1.9) {
+		t.Fatal("active before window start")
+	}
+	for i := 0; i < 10; i++ {
+		if !in.NICDropActive(3, 2.5) {
+			t.Fatal("inactive inside window")
+		}
+	}
+	if in.NICDropActive(3, 3.1) {
+		t.Fatal("active after window end")
+	}
+	// DropEvery = 2: first in-window message passes, second drops — the
+	// ten NICDropActive probes above must not have shifted the phase.
+	if in.TakeNICDrop(3, 2.5) {
+		t.Fatal("first in-window message dropped; cadence phase was perturbed")
+	}
+	if !in.TakeNICDrop(3, 2.5) {
+		t.Fatal("second in-window message not dropped")
+	}
+
+	// A cadence of zero means delay-only windows: never drop-stateful.
+	delayOnly := NewInjector(&Plan{Events: []Event{
+		{Kind: NICFlaky, Time: 0, Node: 0, Target: -1, Duration: 1, Severity: 0.01},
+	}})
+	delayOnly.Advance(0.5)
+	if delayOnly.NICDropActive(0, 0.5) {
+		t.Fatal("delay-only flaky window reported drop-stateful")
+	}
+}

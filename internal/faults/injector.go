@@ -266,6 +266,39 @@ func (in *Injector) TakeMsgFlip(node int) bool {
 	return true
 }
 
+// PendingDrops returns how many unconsumed MsgDrop events node carries.
+// While it is zero, TakeDrop on the node is a no-op returning false, so
+// the analytical fast path can skip the per-message query entirely for
+// nodes with no pending drops without changing any state or result.
+func (in *Injector) PendingDrops(node int) int {
+	if in == nil {
+		return 0
+	}
+	return in.dropPending[node]
+}
+
+// PendingFlips is PendingDrops's counterpart for MsgBitFlip events:
+// while zero, TakeMsgFlip on the node is a pure no-op.
+func (in *Injector) PendingFlips(node int) int {
+	if in == nil {
+		return 0
+	}
+	return in.flipPending[node]
+}
+
+// NICDropActive reports whether TakeNICDrop on node at time now is
+// stateful: inside a flaky-NIC window with a positive drop cadence,
+// every query advances the node's in-window message counter. Outside
+// such a window (or with cadence 0) TakeNICDrop is a pure no-op, which
+// is what lets the fast path aggregate healthy nodes' messages.
+func (in *Injector) NICDropActive(node int, now float64) bool {
+	if in == nil {
+		return false
+	}
+	end, ok := in.nicEnd[node]
+	return ok && now < end && now >= in.nicStart[node] && in.nicEvery[node] > 0
+}
+
 // TakeTornWrite consumes one pending torn write on target, reporting
 // whether an object write there lands truncated. Each TornWrite event
 // tears exactly one access, in deterministic query order.

@@ -1,0 +1,48 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPresetResolvesAllNames pins the name → design-point mapping: every
+// advertised preset resolves, validates, and carries its own name; the
+// empty string is the paper's testbed so optional flags thread through.
+func TestPresetResolvesAllNames(t *testing.T) {
+	for _, name := range PresetNames {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Preset(%q) is not usable: %v", name, err)
+		}
+	}
+	def, err := Preset("")
+	if err != nil {
+		t.Fatalf("empty preset: %v", err)
+	}
+	tb := Testbed640()
+	if def.Name != tb.Name || def.Nodes != tb.Nodes {
+		t.Fatalf("empty preset resolved to %q, want the paper testbed %q", def.Name, tb.Name)
+	}
+}
+
+// TestPresetUnknownErrorListsChoices pins the error path: a typo must
+// name the offender and every valid choice, so the CLI message is
+// actionable without reading source.
+func TestPresetUnknownErrorListsChoices(t *testing.T) {
+	_, err := Preset("exascale2019")
+	if err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown preset "exascale2019"`) {
+		t.Fatalf("error does not name the offender: %v", err)
+	}
+	for _, name := range PresetNames {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error omits valid choice %q: %v", name, err)
+		}
+	}
+}

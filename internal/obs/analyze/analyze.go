@@ -57,11 +57,20 @@ func Phases() []string {
 // Blame maps phase name -> seconds on the critical path.
 type Blame map[string]float64
 
-// Total sums all phases.
+// Total sums all phases. Summation runs in sorted key order so the
+// result is bit-identical across runs: map iteration order is random,
+// and float addition is not associative, so an unordered sum can wobble
+// by an ULP between otherwise identical runs — enough to break the
+// ledger's byte-determinism guarantee downstream.
 func (b Blame) Total() float64 {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var t float64
-	for _, v := range b {
-		t += v
+	for _, k := range keys {
+		t += b[k]
 	}
 	return t
 }

@@ -168,3 +168,49 @@ func TestAccExchangeMatchesMessages(t *testing.T) {
 		}
 	}
 }
+
+// TestAggRecoveryRoundAccounting pins the recovery attribution the
+// fault-aware fast path relies on: RunAggRecoveryRound prices exactly
+// like RunAggRound and additionally books the round's time as recovery,
+// matching the byte path's RunRecoveryRound; AddRecoveryLatency charges
+// wall time and recovery time together.
+func TestAggRecoveryRoundAccounting(t *testing.T) {
+	mc := machine.Testbed640()
+	st := StorageParams{Targets: 4, TargetBW: 500e6, ReqOverhead: 0.5e-3, NoncontigFactor: 4, ReadBWFactor: 1.25}
+	newEng := func() *Engine {
+		e, err := NewEngine(mc, st, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetAggregators([]AggregatorPlacement{{Node: 0, BufferBytes: 8 << 20}})
+		return e
+	}
+	round := AggRound{Kind: RoundMetadata, Messages: []AggMessage{
+		{SrcNode: 1, DstNode: 0, Bytes: 3 << 20, Count: 12},
+		{SrcNode: 2, DstNode: 0, Bytes: 1 << 20, Count: 4},
+	}}
+
+	plain, recov := newEng(), newEng()
+	pc := plain.RunAggRound(round)
+	rc := recov.RunAggRecoveryRound(round)
+	if pc != rc {
+		t.Fatalf("recovery attribution changed the price: %+v vs %+v", pc, rc)
+	}
+	pt, rt := plain.Totals(), recov.Totals()
+	if pt.RecoveryRounds != 0 || pt.RecoverySeconds != 0 {
+		t.Fatalf("plain round booked recovery: %+v", pt)
+	}
+	if rt.RecoveryRounds != 1 || rt.RecoverySeconds != rc.Time {
+		t.Fatalf("recovery round misbooked: rounds=%d seconds=%v (round time %v)",
+			rt.RecoveryRounds, rt.RecoverySeconds, rc.Time)
+	}
+	if rt.Time != pt.Time {
+		t.Fatalf("wall time diverged: %v vs %v", rt.Time, pt.Time)
+	}
+
+	recov.AddRecoveryLatency(0.25, "detect")
+	after := recov.Totals()
+	if after.RecoverySeconds != rt.RecoverySeconds+0.25 || after.Time != rt.Time+0.25 {
+		t.Fatalf("AddRecoveryLatency misbooked: %+v", after)
+	}
+}

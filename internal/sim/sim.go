@@ -673,7 +673,15 @@ type AggRound struct {
 // once per message: for integral MemCopyFactor (the default 2) the two
 // are bit-identical; otherwise they differ by at most one byte per
 // constituent message.
-func (e *Engine) RunAggRound(r AggRound) RoundCost {
+func (e *Engine) RunAggRound(r AggRound) RoundCost { return e.runAggRound(r, false) }
+
+// RunAggRecoveryRound is RunAggRound attributed to recovery: the
+// aggregate form of RunRecoveryRound, used by the fault-aware fast path
+// to price a metadata re-exchange after a failover as per-node bundles
+// instead of one message per surviving contributor.
+func (e *Engine) RunAggRecoveryRound(r AggRound) RoundCost { return e.runAggRound(r, true) }
+
+func (e *Engine) runAggRound(r AggRound, recovery bool) RoundCost {
 	e.beginRound()
 	var commBytes int64
 	nMsgs := 0
@@ -700,7 +708,7 @@ func (e *Engine) RunAggRound(r AggRound) RoundCost {
 		ioBytes += op.Bytes
 		ioDir = mergeIODir(ioDir, op.Write)
 	}
-	return e.finishRound(r.Kind, false, nMsgs, len(r.IOOps), commBytes, ioBytes, ioDir)
+	return e.finishRound(r.Kind, recovery, nMsgs, len(r.IOOps), commBytes, ioBytes, ioDir)
 }
 
 // beginRound recycles the previous round's scratch: drained maps feed
